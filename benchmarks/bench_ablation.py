@@ -1,0 +1,98 @@
+"""Ablations of MCFI design choices called out in DESIGN.md.
+
+1. **Tary representation** — dense array indexed by code address (the
+   paper's choice) vs a hash map: lookup speed is why the paper pays
+   the alignment no-ops for a dense table.
+2. **CFG precision** — type-matching (MCFI) vs "any address-taken
+   function" (classic CFI's convenience) vs two-class coarse CFI:
+   equivalence-class counts and mean target-set sizes quantify what
+   type information buys.
+3. **Update batch size** — the ``movnti`` parallel-copy granularity:
+   smaller batches lengthen the window in which checks retry.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.baselines.policies import (
+    bincfi_policy,
+    classic_cfi_policy,
+    mcfi_policy,
+)
+from repro.experiments import compiled, fig6_update_overhead
+
+
+class TestTaryRepresentation:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        from repro.core.idencoding import pack_id
+        dense = [0] * 65536
+        sparse = {}
+        for index in range(0, 65536, 8):
+            ident = pack_id(index % 1000, 0)
+            dense[index] = ident
+            sparse[index] = ident
+        return dense, sparse
+
+    def test_dense_array_lookup(self, benchmark, tables):
+        dense, _ = tables
+
+        def lookups():
+            total = 0
+            for i in range(0, 65536, 64):
+                total += dense[i]
+            return total
+
+        benchmark(lookups)
+
+    def test_hash_map_lookup(self, benchmark, tables):
+        _, sparse = tables
+
+        def lookups():
+            total = 0
+            for i in range(0, 65536, 64):
+                total += sparse.get(i, 0)
+            return total
+
+        benchmark(lookups)
+
+
+class TestCfgPrecision:
+    def test_precision_ablation_table(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        lines = [f"{'benchmark':12s} {'policy':12s} {'classes':>8s} "
+                 f"{'mean |T|':>9s}"]
+        for name in ("perlbench", "gcc", "libquantum"):
+            aux = compiled(name, "x64", True).module.aux
+            for policy_fn in (mcfi_policy, classic_cfi_policy,
+                              bincfi_policy):
+                policy = policy_fn(aux)
+                sizes = [len(t) for t in policy.branch_targets.values()]
+                mean = sum(sizes) / max(len(sizes), 1)
+                lines.append(f"{name:12s} {policy.name:12s} "
+                             f"{policy.n_classes:8d} {mean:9.1f}")
+        write_result("ablation_cfg_precision", "\n".join(lines))
+
+    def test_type_matching_buys_classes(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        aux = compiled("gcc", "x64", True).module.aux
+        mcfi = mcfi_policy(aux)
+        coarse = bincfi_policy(aux)
+        # two-to-three orders of magnitude in the paper; >5x here
+        assert mcfi.n_classes > 5 * coarse.n_classes
+
+
+class TestUpdateBatchSize:
+    def test_batch_size_ablation(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        lines = [f"{'batch':>6s} {'overhead':>9s} {'updates':>8s}"]
+        overheads = {}
+        for batch in (16, 256):
+            result = fig6_update_overhead(
+                ["libquantum"], interval=40_000, burst=16,
+                batch=batch)["libquantum"]
+            overheads[batch] = result.overhead_pct
+            lines.append(f"{batch:6d} {result.overhead_pct:8.2f}% "
+                         f"{result.updates:8d}")
+        write_result("ablation_update_batch", "\n".join(lines))
+        assert all(value >= 0.0 for value in overheads.values())

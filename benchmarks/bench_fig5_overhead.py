@@ -1,0 +1,56 @@
+"""Fig. 5 — MCFI execution overhead, no update transactions.
+
+Paper: "the average overhead is around 4-6% on x86-32 and x86-64",
+with call-heavy benchmarks (perlbench, gcc) highest and loop-heavy
+numeric codes (mcf, lbm, milc) near zero.
+
+The benchmark times one full instrumented VM run of each workload; the
+artifact table reports the cycle-model overhead of every selected
+benchmark against its uninstrumented twin.
+"""
+
+import pytest
+
+from benchmarks.conftest import selected_benchmarks, write_result
+from repro.experiments import compiled, fig5_overhead
+from repro.metrics.overhead import arithmetic_mean_overhead
+from repro.runtime.runtime import Runtime
+
+
+def test_fig5_table(benchmark):
+    """Regenerate the Fig. 5 series and persist it."""
+    results = benchmark.pedantic(
+        lambda: fig5_overhead(selected_benchmarks(), archs=("x64",)),
+        rounds=1, iterations=1)
+    flat = {name: result for (name, _), result in results.items()}
+    lines = [f"{'benchmark':12s} {'native cycles':>14s} "
+             f"{'mcfi cycles':>12s} {'overhead':>9s}"]
+    for name, result in flat.items():
+        lines.append(f"{name:12s} {result.native_cycles:14d} "
+                     f"{result.mcfi_cycles:12d} "
+                     f"{result.overhead_pct:8.2f}%")
+    lines.append(f"{'average':12s} {'':14s} {'':12s} "
+                 f"{arithmetic_mean_overhead(flat):8.2f}%")
+    text = "\n".join(lines)
+    write_result("fig5_overhead_x64", text)
+
+    mean = arithmetic_mean_overhead(flat)
+    assert 0.0 < mean < 15.0  # paper band: ~5%
+    for result in flat.values():
+        assert result.overhead_pct >= -0.5
+
+
+@pytest.mark.parametrize("name", ["perlbench", "libquantum"])
+@pytest.mark.parametrize("mcfi", [False, True],
+                         ids=["native", "mcfi"])
+def test_execution_time(benchmark, name, mcfi):
+    """Wall-clock VM execution, native vs instrumented."""
+    program = compiled(name, "x64", mcfi)
+
+    def run():
+        return Runtime(program).run()
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.ok
+    benchmark.extra_info["model_cycles"] = result.cycles
+    benchmark.extra_info["instructions"] = result.instructions

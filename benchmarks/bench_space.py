@@ -1,0 +1,43 @@
+"""Sec. 8.1 — space overhead.
+
+Paper: "MCFI increases the static code size by 17% on the benchmarks.
+During runtime it also requires extra memory as large as the code
+region to store the Bary and Tary tables."
+"""
+
+from benchmarks.conftest import write_result
+from repro.experiments import space_overhead
+from repro.workloads.spec import BENCHMARKS
+
+
+def test_space_table(benchmark):
+    results = benchmark.pedantic(lambda: space_overhead(BENCHMARKS),
+                                 rounds=1, iterations=1)
+    lines = [f"{'benchmark':12s} {'native B':>10s} {'mcfi B':>10s} "
+             f"{'increase':>9s} {'tary B':>10s} {'bary B':>8s}"]
+    for name in BENCHMARKS:
+        row = results[name]
+        lines.append(
+            f"{name:12s} {row.native_code_bytes:10d} "
+            f"{row.mcfi_code_bytes:10d} {row.code_increase_pct:8.2f}% "
+            f"{row.tary_bytes:10d} {row.bary_bytes:8d}")
+    mean = sum(r.code_increase_pct for r in results.values()) / len(results)
+    lines.append(f"{'average':12s} {'':10s} {'':10s} {mean:8.2f}%  "
+                 f"(paper: ~17%)")
+    write_result("space_overhead", "\n".join(lines))
+
+    assert 3.0 < mean < 60.0
+    for row in results.values():
+        # Tary mirrors the code region one-to-one (4B ID per 4B code)
+        assert row.tary_bytes == row.mcfi_code_bytes
+
+
+def test_link_speed(benchmark):
+    """Static linking time of one full workload + libc."""
+    from repro.toolchain import compile_and_link
+    from repro.workloads.spec import workload
+    source = {"libquantum": workload("libquantum").source}
+    program = benchmark.pedantic(
+        lambda: compile_and_link(source, mcfi=True),
+        rounds=2, iterations=1)
+    assert program.module.size > 0

@@ -1,0 +1,32 @@
+"""Table 2 — K1/K2 classification of remaining violations.
+
+Paper: five benchmarks retain violations; K1 cases (incompatible
+function-pointer initializations) need source fixes only when the
+pointer type is actually dispatched through; K2 cases (cast away and
+back) never needed fixes.
+"""
+
+from benchmarks.conftest import write_result
+from repro.experiments import table2_analysis
+from repro.workloads.spec import workload
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(table2_analysis, rounds=1, iterations=1)
+    assert set(rows) == {"perlbench", "bzip2", "gcc", "libquantum",
+                         "milc"}
+    lines = [f"{'benchmark':12s} {'K1':>4s} {'K2':>4s} {'K1-fixed':>9s}"]
+    for name, row in rows.items():
+        lines.append(f"{name:12s} {row['K1']:4d} {row['K2']:4d} "
+                     f"{row['K1-fixed']:9d}")
+        assert row == workload(name).expected_table2
+    # gcc has a dead K1 case needing no fix (the paper's 14 cases)
+    assert rows["gcc"]["K1"] > rows["gcc"]["K1-fixed"]
+    write_result("table2_k1k2", "\n".join(lines))
+
+
+def test_classification_speed(benchmark):
+    from repro.analysis.analyzer import analyze_source
+    source = workload("gcc").source
+    report = benchmark(lambda: analyze_source(source, name="gcc"))
+    assert report.k1 == 3

@@ -1,0 +1,52 @@
+"""Table 3 — CFG statistics: IBs / IBTs / EQCs, x86-32 and x86-64.
+
+Always runs all twelve benchmarks on both architecture modes.  The
+paper's shape claims, checked here:
+
+* equivalence classes number in the tens-to-thousands (two to three
+  orders of magnitude above coarse CFI's handful);
+* x86-64 has *fewer* EQCs than x86-32 (tail-call optimization merges
+  return classes);
+* gcc dominates, lbm/mcf are smallest.
+"""
+
+from benchmarks.conftest import write_result
+from repro.experiments import table3_cfg_stats
+from repro.workloads.spec import BENCHMARKS, workload
+
+
+def test_table3(benchmark):
+    stats = benchmark.pedantic(table3_cfg_stats, rounds=1, iterations=1)
+    lines = [f"{'benchmark':12s} "
+             f"{'IBs32':>6s} {'IBTs32':>7s} {'EQCs32':>7s}   "
+             f"{'IBs64':>6s} {'IBTs64':>7s} {'EQCs64':>7s}"]
+    for name in BENCHMARKS:
+        s32 = stats[(name, "x32")]
+        s64 = stats[(name, "x64")]
+        lines.append(
+            f"{name:12s} {s32['IBs']:6d} {s32['IBTs']:7d} "
+            f"{s32['EQCs']:7d}   {s64['IBs']:6d} {s64['IBTs']:7d} "
+            f"{s64['EQCs']:7d}")
+    lines.append("")
+    lines.append("paper reference (x64): " + ", ".join(
+        f"{name}={workload(name).paper_table3_x64}"
+        for name in ("perlbench", "gcc", "lbm")))
+    write_result("table3_cfg_stats", "\n".join(lines))
+
+    eqcs64 = {name: stats[(name, "x64")]["EQCs"] for name in BENCHMARKS}
+    assert eqcs64["gcc"] == max(eqcs64.values())
+    # far above coarse-grained CFI's one-or-two classes
+    assert all(value > 10 for value in eqcs64.values())
+    # tail calls reduce classes on x64 for the dispatch-heavy codes
+    fewer = sum(1 for name in BENCHMARKS
+                if stats[(name, "x64")]["EQCs"] <
+                stats[(name, "x32")]["EQCs"])
+    assert fewer >= 6
+
+
+def test_cfg_stats_speed(benchmark):
+    from repro.cfg.generator import generate_cfg
+    from repro.experiments import compiled
+    aux = compiled("gcc", "x64", True).module.aux
+    cfg = benchmark(lambda: generate_cfg(aux))
+    assert cfg.stats()["EQCs"] > 10

@@ -1,0 +1,94 @@
+"""Toolchain pipeline benchmarks: per-stage cost of the compiler.
+
+Not a paper artifact, but the reproduction's own engineering profile:
+where the TinyC -> loaded-program pipeline spends its time, stage by
+stage, on a mid-sized workload.  Useful when extending the compiler.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.workloads.spec import workload
+
+
+@pytest.fixture(scope="module")
+def source():
+    return workload("sjeng").source
+
+
+def test_stage_breakdown(benchmark, source):
+    import time
+    from repro.core.instrument import instrument_items
+    from repro.isa.assembler import assemble
+    from repro.mir.codegen import generate
+    from repro.mir.lowering import lower_unit
+    from repro.tinyc.lexer import tokenize
+    from repro.tinyc.parser import parse
+    from repro.tinyc.typecheck import check
+    from repro.toolchain import BUILTIN_PRELUDE
+
+    text = BUILTIN_PRELUDE + source
+
+    def pipeline():
+        timings = {}
+        start = time.perf_counter()
+        tokenize(text)
+        timings["lex"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        unit = parse(text, name="sjeng")
+        timings["parse"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        checked = check(unit)
+        timings["typecheck"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        mir_module = lower_unit(checked)
+        timings["lower"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        raw = generate(mir_module, checked, arch="x64")
+        timings["codegen"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        instrumented = instrument_items(raw)
+        timings["instrument"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        assemble(instrumented.items, base=0x10000,
+                 extern={name: 0x2000000 for raw_ in [raw]
+                         for name in list(raw_.imports)
+                         + list(raw_.strings)
+                         + list(raw_.globals)})
+        timings["assemble"] = time.perf_counter() - start
+        return timings
+
+    timings = benchmark.pedantic(pipeline, rounds=3, iterations=1)
+    total = sum(timings.values())
+    lines = [f"{'stage':12s} {'ms':>8s} {'share':>7s}"]
+    for stage, seconds in timings.items():
+        lines.append(f"{stage:12s} {seconds * 1000:8.2f} "
+                     f"{100 * seconds / total:6.1f}%")
+    lines.append(f"{'total':12s} {total * 1000:8.2f}")
+    write_result("toolchain_stages", "\n".join(lines))
+    assert total < 5.0
+
+
+def test_full_compile_link(benchmark, source):
+    from repro.toolchain import compile_and_link
+
+    program = benchmark.pedantic(
+        lambda: compile_and_link({"sjeng": source}, mcfi=True),
+        rounds=2, iterations=1)
+    benchmark.extra_info["code_bytes"] = len(program.module.code)
+    benchmark.extra_info["branch_sites"] = \
+        len(program.module.aux.branch_sites)
+
+
+def test_verifier_speed(benchmark):
+    from repro.core.verifier import verify_module
+    from repro.experiments import compiled
+    module = compiled("sjeng", "x64", True).module
+    stats = benchmark(lambda: verify_module(module))
+    assert stats["checked_branches"] > 0

@@ -1,0 +1,41 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure of the paper and writes
+the formatted result to ``benchmarks/results/<artifact>.txt`` (so the
+numbers quoted in EXPERIMENTS.md are reproducible), in addition to the
+pytest-benchmark timing output.
+
+Set ``REPRO_FULL=1`` to run the execution-heavy artifacts (Figs. 5-6,
+gadget scans) over all twelve benchmarks; the default subset keeps the
+suite under a few minutes while preserving every comparison the paper
+makes (call-heavy vs loop-heavy benchmarks, integer vs floating point).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: Execution-heavy subset: the two call-heaviest (largest overhead),
+#: one mid, one near-zero, one floating-point benchmark.
+SUBSET = ("perlbench", "gcc", "sjeng", "libquantum", "lbm")
+
+
+def selected_benchmarks():
+    from repro.workloads.spec import BENCHMARKS
+    return BENCHMARKS if FULL else SUBSET
+
+
+def write_result(artifact: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{artifact}.txt"
+    path.write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def benchmarks_list():
+    return selected_benchmarks()

@@ -1,0 +1,1 @@
+"""Runnable examples for the MCFI reproduction."""

@@ -1,0 +1,222 @@
+"""The C1/C2 condition analyzer (paper Sec. 6, Tables 1 and 2).
+
+The paper's analyzer (built on Clang's StaticChecker) over-approximates
+violations of the two conditions required by type-matching CFG
+generation:
+
+* **C1** — no type cast to or from function-pointer types (including
+  implicit casts, and struct casts whose fields contain incompatible
+  function pointers);
+* **C2** — no assembly (TinyC's analogue: direct ``__syscall``
+  intrinsic use outside the libc module).
+
+It then eliminates false positives by pattern:
+
+* **UC** (upcast): concrete-struct-pointer to abstract-struct-pointer
+  where the abstract struct's fields are a prefix of the concrete's
+  (emulated polymorphism/inheritance);
+* **DC** (safe downcast): abstract to concrete where the abstract
+  struct carries a runtime type-tag field;
+* **MF** (malloc/free): ``void *`` casts at allocator/deallocator
+  call sites;
+* **SU** (safe update): function pointers assigned literal constants
+  (NULL);
+* **NF** (non-function-pointer access): casts whose result is only
+  used to read fields that contain no function pointer.
+
+What remains (``VAE``) is classified as **K1** (a function pointer
+initialized with the address of a type-incompatible function — may need
+a source fix) or **K2** (a pointer cast away and back, e.g. through
+``void *`` or an untagged downcast — never needed fixes in the paper's
+experience).  A K1 case *requires* a fix only when some indirect call
+actually dispatches through the mismatched pointer type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.tinyc.typecheck import CastRecord, CheckedUnit
+from repro.tinyc.types import (
+    FuncSig,
+    FuncType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    canonical,
+    contains_function_pointer,
+    is_function_pointer,
+    is_physical_subtype,
+)
+
+#: Field names treated as runtime type tags for the DC elimination.
+DEFAULT_TAG_FIELDS = frozenset(["tag", "type", "kind", "sv_type", "code"])
+
+
+@dataclass
+class ClassifiedCast:
+    record: CastRecord
+    category: str           # 'UC' | 'DC' | 'MF' | 'SU' | 'NF' | 'K1' | 'K2'
+
+
+@dataclass
+class AnalysisReport:
+    """Table 1 row (plus the Table 2 K1/K2 breakdown) for one unit."""
+
+    unit: str
+    sloc: int = 0
+    vbe: int = 0
+    uc: int = 0
+    dc: int = 0
+    mf: int = 0
+    su: int = 0
+    nf: int = 0
+    vae: int = 0
+    k1: int = 0
+    k2: int = 0
+    k1_fixed: int = 0
+    c2: int = 0
+    classified: List[ClassifiedCast] = field(default_factory=list)
+
+    def table1_row(self) -> Dict[str, int]:
+        return {"SLOC": self.sloc, "VBE": self.vbe, "UC": self.uc,
+                "DC": self.dc, "MF": self.mf, "SU": self.su, "NF": self.nf,
+                "VAE": self.vae}
+
+    def table2_row(self) -> Dict[str, int]:
+        return {"K1": self.k1, "K2": self.k2, "K1-fixed": self.k1_fixed}
+
+
+class Analyzer:
+    """Classifies one checked unit's cast records."""
+
+    def __init__(self, checked: CheckedUnit,
+                 tag_fields: Optional[Set[str]] = None,
+                 sloc: int = 0) -> None:
+        self.checked = checked
+        self.tag_fields = tag_fields or set(DEFAULT_TAG_FIELDS)
+        self.sloc = sloc
+        #: pointer signatures actually used at indirect call sites —
+        #: decides whether a K1 case needs a source fix.
+        self._called_sigs: Set[FuncSig] = {
+            call.sig for call in checked.calls if call.sig is not None}
+
+    def analyze(self) -> AnalysisReport:
+        report = AnalysisReport(unit=self.checked.name, sloc=self.sloc)
+        for record in self.checked.casts:
+            category = self._classify(record)
+            report.classified.append(ClassifiedCast(record, category))
+            report.vbe += 1
+            attr = category.lower()
+            if category in ("UC", "DC", "MF", "SU", "NF"):
+                setattr(report, attr, getattr(report, attr) + 1)
+            else:
+                report.vae += 1
+                if category == "K1":
+                    report.k1 += 1
+                    if self._k1_needs_fix(record):
+                        report.k1_fixed += 1
+                else:
+                    report.k2 += 1
+        return report
+
+    # -- classification -----------------------------------------------------
+
+    def _classify(self, record: CastRecord) -> str:
+        src, dst = record.src, record.dst
+
+        struct_pair = self._struct_pointee_pair(src, dst)
+        if struct_pair is not None:
+            src_struct, dst_struct = struct_pair
+            if is_physical_subtype(src_struct, dst_struct):
+                return "UC"
+            if is_physical_subtype(dst_struct, src_struct):
+                if self._has_type_tag(src_struct):
+                    return "DC"
+                return "K2"  # untagged downcast: remains, but benign
+
+        if record.via_alloc or record.via_free:
+            return "MF"
+        if record.operand_zero:
+            return "SU"
+        if record.member_nonfptr:
+            return "NF"
+        if record.operand_func is not None and \
+                self._incompatible_fptr_init(record):
+            return "K1"
+        return "K2"
+
+    @staticmethod
+    def _struct_pointee_pair(src: Type, dst: Type):
+        if isinstance(src, PointerType) and isinstance(dst, PointerType) \
+                and isinstance(src.pointee, StructType) \
+                and isinstance(dst.pointee, StructType):
+            return src.pointee, dst.pointee
+        return None
+
+    def _has_type_tag(self, struct: StructType) -> bool:
+        if not struct.fields:
+            return False
+        first_name, first_type = struct.fields[0]
+        return first_name in self.tag_fields and \
+            isinstance(first_type, IntType)
+
+    def _incompatible_fptr_init(self, record: CastRecord) -> bool:
+        """Is this a function address stored into an incompatible fptr?"""
+        if not is_function_pointer(record.dst):
+            return False
+        func_type = self.checked.func_types.get(record.operand_func)
+        if func_type is None:
+            return True  # unknown function: conservative
+        dst_func = record.dst.pointee
+        return canonical(func_type) != canonical(dst_func)
+
+    def _k1_needs_fix(self, record: CastRecord) -> bool:
+        """A K1 case breaks the CFG only if calls dispatch through the
+        mismatched pointer type (otherwise the pointer is dead)."""
+        if not is_function_pointer(record.dst):
+            return False
+        assert isinstance(record.dst.pointee, FuncType)
+        sig = FuncSig.of(record.dst.pointee)
+        return sig in self._called_sigs
+
+    def c2_findings(self, libc_exempt: bool = True) -> int:
+        """C2 (assembly) findings: direct ``__syscall`` intrinsic uses.
+
+        The paper found no C2 violations in the benchmarks; only the
+        libc had inline assembly (annotated by hand).  ``libc_exempt``
+        mirrors that: the libc module's wrappers are annotated, so only
+        *workload* syscall uses count.
+        """
+        if libc_exempt and self.checked.name == "libc":
+            return 0
+        count = 0
+        from repro.tinyc import ast
+        for func in self.checked.functions.values():
+            for stmt in ast.walk_stmts(func.body):
+                for top in ast.stmt_exprs(stmt):
+                    for expr in ast.walk_expr(top):
+                        if isinstance(expr, ast.Call) and \
+                                expr.direct_name == "__syscall":
+                            count += 1
+        return count
+
+
+def analyze_unit(checked: CheckedUnit, sloc: int = 0,
+                 tag_fields: Optional[Set[str]] = None) -> AnalysisReport:
+    """Run the C1/C2 analyzer over one checked translation unit."""
+    analyzer = Analyzer(checked, tag_fields=tag_fields, sloc=sloc)
+    report = analyzer.analyze()
+    report.c2 = analyzer.c2_findings()
+    return report
+
+
+def analyze_source(source: str, name: str = "unit",
+                   prelude: bool = True) -> AnalysisReport:
+    """Convenience: frontend + analysis over raw TinyC source."""
+    from repro.toolchain import frontend
+    checked = frontend(source, name=name, prelude=prelude)
+    sloc = sum(1 for line in source.splitlines() if line.strip())
+    return analyze_unit(checked, sloc=sloc)

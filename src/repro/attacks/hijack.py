@@ -1,0 +1,175 @@
+"""Concrete control-flow hijacking scenarios (paper Sec. 8.3).
+
+Each scenario builds a victim program, mounts the paper's concurrent
+attacker against it, and reports whether the hijack succeeded or was
+blocked — under native execution, under a coarse-grained (binCFI-style)
+policy, and under MCFI.  The function-pointer scenario is the paper's
+GnuPG CVE-2006-6235 analogue: "the vulnerability ... allows a remote
+attacker to control a function pointer and jump to execve ...  If
+protected by MCFI, the function pointer cannot be used to jump to
+execve because their types do not match."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.baselines.policies import bincfi_policy
+from repro.errors import CfiViolation
+from repro.toolchain import compile_and_link
+from repro.runtime.runtime import Runtime
+from repro.vm.cpu import CPU, ProgramExit
+
+
+@dataclass
+class AttackOutcome:
+    """Result of one attack run under one protection scheme."""
+
+    scheme: str              # 'native' | 'binCFI' | 'MCFI'
+    hijacked: bool           # attacker-controlled code executed
+    blocked: bool            # a CFI violation stopped the transfer
+    detail: str = ""
+
+
+#: Victim: a message dispatcher whose handler pointer lives in writable
+#: memory next to an attacker-controlled buffer — the GnuPG shape.
+FPTR_VICTIM_SOURCE = r"""
+typedef void (*msg_handler)(int);
+
+void execve_sim(char *cmd) {
+    /* stands in for libc's execve: type  void(char*)  */
+    print_str("EXEC:");
+    print_str(cmd);
+}
+
+void log_message(int level) {
+    print_int(level);
+}
+
+msg_handler handler = log_message;
+char inbox[64];
+
+int main(void) {
+    int round;
+    /* keep execve address-taken, as linking with libc does */
+    void (*unused)(char *) = execve_sim;
+    for (round = 0; round < 64; round++) {
+        handler(round);
+        sched_yield();
+    }
+    return 0;
+}
+"""
+
+RETURN_VICTIM_SOURCE = r"""
+void secret(void) {
+    print_str("SECRET");
+}
+
+int helper(int x) {
+    int local = x * 2;
+    sched_yield();
+    return local + 1;
+}
+
+int main(void) {
+    int total = 0;
+    int i;
+    void (*keep)(void) = secret;   /* secret is address-taken */
+    for (i = 0; i < 64; i++) {
+        total += helper(i);
+    }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+def _run_with_attacker(program, corrupt, scheme: str,
+                       seed: int = 7, max_ticks: int = 4_000_000,
+                       install_policy=None) -> AttackOutcome:
+    runtime = Runtime(program)
+    if install_policy is not None:
+        policy = install_policy(program.module.aux)
+        runtime.id_tables.install(policy.tary_ecns, policy.bary_ecns)
+    cpu = runtime.main_cpu()
+
+    def attacker():
+        while True:
+            corrupt(runtime, cpu)
+            yield
+
+    from repro.vm.scheduler import GeneratorTask
+    result = runtime.run_scheduled(
+        seed=seed, max_ticks=max_ticks,
+        extra_tasks=[GeneratorTask(attacker(), name="attacker")])
+    hijack_markers = (b"EXEC:", b"SECRET")
+    hijacked = any(marker in result.output for marker in hijack_markers)
+    blocked = result.violation is not None
+    detail = result.violation.reason if result.violation else \
+        f"exit={result.exit_code} output={result.output[:32]!r}"
+    return AttackOutcome(scheme=scheme, hijacked=hijacked, blocked=blocked,
+                         detail=detail)
+
+
+def fptr_to_execve(schemes=("native", "binCFI", "MCFI"),
+                   seed: int = 7) -> Dict[str, AttackOutcome]:
+    """The GnuPG-style function-pointer hijack, under each scheme."""
+    outcomes: Dict[str, AttackOutcome] = {}
+    for scheme in schemes:
+        mcfi = scheme != "native"
+        program = compile_and_link({"victim": FPTR_VICTIM_SOURCE},
+                                   mcfi=mcfi)
+        handler_slot = program.data.symbols["handler"]
+        execve_entry = program.labels["execve_sim"]
+
+        def corrupt(runtime, cpu, slot=handler_slot, value=execve_entry):
+            runtime.memory.host_write(slot, value.to_bytes(8, "little"))
+
+        install = bincfi_policy if scheme == "binCFI" else None
+        outcomes[scheme] = _run_with_attacker(program, corrupt, scheme,
+                                              seed=seed,
+                                              install_policy=install)
+    return outcomes
+
+
+def return_to_secret(schemes=("native", "binCFI", "MCFI"),
+                     seed: int = 11) -> Dict[str, AttackOutcome]:
+    """Return-address smash redirecting a return to a function entry.
+
+    Under binCFI returns may target any *return site*, so a function
+    entry is still refused — but under binCFI the attacker may instead
+    redirect to any other return site; we demonstrate the entry-redirect
+    case, where fine- and coarse-grained CFI both block, while native
+    execution is hijacked.
+    """
+    outcomes: Dict[str, AttackOutcome] = {}
+    for scheme in schemes:
+        mcfi = scheme != "native"
+        program = compile_and_link({"victim": RETURN_VICTIM_SOURCE},
+                                   mcfi=mcfi)
+        secret_entry = program.labels["secret"]
+        code_base = program.module.base
+        code_limit = program.module.limit
+
+        def corrupt(runtime, cpu, payload=secret_entry,
+                    lo=code_base, hi=code_limit):
+            rsp = cpu.regs[4]
+            for slot in range(8):
+                address = rsp + 8 * slot
+                try:
+                    word = runtime.memory.read_u64(address)
+                except Exception:
+                    continue
+                if lo <= word < hi and word != payload:
+                    try:
+                        runtime.memory.write_u64(address, payload)
+                    except Exception:
+                        pass
+
+        install = bincfi_policy if scheme == "binCFI" else None
+        outcomes[scheme] = _run_with_attacker(program, corrupt, scheme,
+                                              seed=seed,
+                                              install_policy=install)
+    return outcomes

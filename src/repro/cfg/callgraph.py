@@ -1,0 +1,122 @@
+"""Call-graph construction with tail-call chains (paper Sec. 6).
+
+"To compute control-flow edges out of return instructions, we construct
+a call graph [...].  Tail calls are handled in the following way: if in
+function f there is a call node calling g, and g calls h through a
+series of tail calls, then an edge from the call node in f to h is
+added to the call graph."
+
+The graph is built purely from auxiliary module information: direct
+call edges, indirect call signatures resolved by type matching, and
+tail-call edges (direct and indirect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.module.auxinfo import AuxInfo, FunctionAux
+from repro.tinyc.types import FuncSig, signatures_match
+
+
+@dataclass
+class CallGraph:
+    """Resolved call graph over one merged module."""
+
+    #: function name -> set of functions its *calls* may ultimately
+    #: enter via tail chains (callees closed under tail edges)
+    resolved_callees: Dict[str, Set[str]] = field(default_factory=dict)
+    #: function name -> return-site addresses its returns may target
+    return_targets: Dict[str, Set[int]] = field(default_factory=dict)
+    #: (caller, callee) direct+indirect call edges before tail closure
+    edges: Set[Tuple[str, str]] = field(default_factory=set)
+
+
+class TypeMatcher:
+    """Caches type-matching queries: signature -> address-taken functions."""
+
+    def __init__(self, functions: List[FunctionAux]) -> None:
+        self._address_taken = [f for f in functions if f.address_taken]
+        self._cache: Dict[FuncSig, Tuple[FunctionAux, ...]] = {}
+
+    def matches(self, sig: Optional[FuncSig]) -> Tuple[FunctionAux, ...]:
+        """Address-taken functions an fptr of signature ``sig`` may call."""
+        if sig is None:
+            return ()
+        cached = self._cache.get(sig)
+        if cached is None:
+            cached = tuple(f for f in self._address_taken
+                           if signatures_match(sig, f.sig))
+            self._cache[sig] = cached
+        return cached
+
+
+def _tail_closure(aux: AuxInfo, matcher: TypeMatcher) -> Dict[str, Set[str]]:
+    """For every function g: the set of functions a call to g may be
+    *in* when it finally returns (g itself plus tail-chain targets)."""
+    tail_edges: Dict[str, Set[str]] = {}
+    for caller, callee, is_tail in aux.direct_calls:
+        if is_tail:
+            tail_edges.setdefault(caller, set()).add(callee)
+    for site in aux.branch_sites:
+        if site.kind == "tail":
+            targets = {f.name for f in matcher.matches(site.sig)}
+            tail_edges.setdefault(site.fn, set()).update(targets)
+
+    closure: Dict[str, Set[str]] = {}
+
+    def close(name: str, visiting: Set[str]) -> Set[str]:
+        if name in closure:
+            return closure[name]
+        if name in visiting:
+            return {name}  # tail-recursion cycle
+        visiting.add(name)
+        result = {name}
+        for succ in tail_edges.get(name, ()):
+            result |= close(succ, visiting)
+        visiting.discard(name)
+        closure[name] = result
+        return result
+
+    for name in set(aux.functions) | set(tail_edges):
+        close(name, set())
+    return closure
+
+
+def build_call_graph(aux: AuxInfo) -> CallGraph:
+    """Build the call graph and per-function return-target sets."""
+    matcher = TypeMatcher(list(aux.functions.values()))
+    closure = _tail_closure(aux, matcher)
+    graph = CallGraph()
+    return_targets: Dict[str, Set[int]] = {name: set()
+                                           for name in aux.functions}
+
+    def landing_functions(callee: str) -> Set[str]:
+        return closure.get(callee, {callee})
+
+    for retsite in aux.retsites:
+        if retsite.callee is not None:
+            callees = {retsite.callee}
+        else:
+            callees = {f.name for f in matcher.matches(retsite.sig)}
+        for callee in callees:
+            graph.edges.add((retsite.caller, callee))
+            for landing in landing_functions(callee):
+                return_targets.setdefault(landing, set()).add(
+                    retsite.address)
+
+    # Non-returning tail positions contribute edges too (for AIR and
+    # reachability analyses), though no return sites.
+    for caller, callee, is_tail in aux.direct_calls:
+        if is_tail:
+            graph.edges.add((caller, callee))
+    for site in aux.branch_sites:
+        if site.kind == "tail":
+            for target in matcher.matches(site.sig):
+                graph.edges.add((site.fn, target.name))
+
+    graph.return_targets = return_targets
+    for caller, callee in graph.edges:
+        graph.resolved_callees.setdefault(caller, set()).add(callee)
+    return graph

@@ -1,0 +1,79 @@
+"""Equivalence-class partitioning of indirect-branch targets (Sec. 2).
+
+"Two target addresses are equivalent if there is an indirect branch
+that can jump to both targets according to the CFG.  [...] If two
+indirect branches target two sets of destinations and those two sets
+are not disjoint, the two sets are merged into one equivalence class."
+
+This is exactly a union-find over target addresses where each branch
+unions its whole target set; the number of resulting classes is the
+"EQCs" column of Table 3, and the loss of precision relative to the raw
+CFG is the price the classic-CFI/MCFI encoding pays for O(1) checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List
+
+
+class UnionFind:
+    """Union-find with path compression over hashable items."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+
+    def add(self, item: Hashable) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def find(self, item: Hashable) -> Hashable:
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, left: Hashable, right: Hashable) -> None:
+        lroot = self.find(left)
+        rroot = self.find(right)
+        if lroot == rroot:
+            return
+        if self._rank[lroot] < self._rank[rroot]:
+            lroot, rroot = rroot, lroot
+        self._parent[rroot] = lroot
+        if self._rank[lroot] == self._rank[rroot]:
+            self._rank[lroot] += 1
+
+    def union_all(self, items: Iterable[Hashable]) -> None:
+        items = list(items)
+        if not items:
+            return
+        first = items[0]
+        for item in items[1:]:
+            self.union(first, item)
+
+    def groups(self) -> List[List[Hashable]]:
+        buckets: Dict[Hashable, List[Hashable]] = {}
+        for item in self._parent:
+            buckets.setdefault(self.find(item), []).append(item)
+        return list(buckets.values())
+
+    def class_numbers(self, start: int = 0) -> Dict[Hashable, int]:
+        """Assign a stable ECN to every item, grouped by class.
+
+        Classes are numbered in order of their smallest member so the
+        assignment is deterministic across runs.
+        """
+        groups = sorted(self.groups(), key=lambda g: min(g))
+        numbering: Dict[Hashable, int] = {}
+        for index, group in enumerate(groups):
+            for item in group:
+                numbering[item] = start + index
+        return numbering
+
+    def __len__(self) -> int:
+        return len({self.find(item) for item in self._parent})

@@ -1,0 +1,152 @@
+"""The MCFI CFG generator (paper Secs. 6-7).
+
+Takes merged auxiliary module information and produces the ECN
+assignment that the runtime installs into the ID tables:
+
+* indirect calls / indirect tail calls target type-matched
+  address-taken function entries;
+* returns target the return sites permitted by the call graph
+  (with tail-call chains resolved);
+* switch jumps target their jump-table entries;
+* longjmp targets every setjmp resume point;
+* PLT entries target the (dynamically resolved) imported function.
+
+Branch target sets are then collapsed into equivalence classes exactly
+as in the classic CFI: overlapping sets merge (union-find).  The
+generator reports the Table 3 statistics (IBs, IBTs, EQCs) and is fast
+enough to run during dynamic linking — the paper quotes ~150 ms for
+gcc, and this one is linear in branches x matched targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cfg.callgraph import CallGraph, TypeMatcher, build_call_graph
+from repro.cfg.eqclass import UnionFind
+from repro.core.idencoding import MAX_ECN
+from repro.errors import CfgGenerationError
+from repro.module.auxinfo import AuxInfo
+
+
+@dataclass
+class Cfg:
+    """A generated control-flow policy, ready for table installation."""
+
+    #: target address -> ECN
+    tary_ecns: Dict[int, int] = field(default_factory=dict)
+    #: branch site -> ECN
+    bary_ecns: Dict[int, int] = field(default_factory=dict)
+    #: per-branch resolved target sets (address sets), for metrics
+    branch_targets: Dict[int, Set[int]] = field(default_factory=dict)
+    call_graph: Optional[CallGraph] = None
+    n_classes: int = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Table 3 row: IBs, IBTs, EQCs."""
+        return {
+            "IBs": len(self.bary_ecns),
+            "IBTs": len(self.tary_ecns),
+            "EQCs": self.n_classes,
+        }
+
+    def permits(self, site: int, address: int) -> bool:
+        """Ground-truth query: does the CFG allow site -> address?"""
+        branch_ecn = self.bary_ecns.get(site)
+        target_ecn = self.tary_ecns.get(address)
+        return branch_ecn is not None and branch_ecn == target_ecn
+
+
+def generate_cfg(aux: AuxInfo,
+                 plt_resolution: Optional[Dict[str, int]] = None) -> Cfg:
+    """Generate the CFG/ECN assignment for a merged module.
+
+    ``plt_resolution`` maps imported symbol names to their resolved
+    entry addresses (supplied by the dynamic linker); PLT branch sites
+    target exactly their resolved symbol.
+    """
+    matcher = TypeMatcher(list(aux.functions.values()))
+    graph = build_call_graph(aux)
+    union = UnionFind()
+
+    # Enumerate all possible indirect-branch targets first: address-taken
+    # function entries, return sites, switch cases, setjmp resumes.
+    for func in aux.functions.values():
+        if func.address_taken:
+            union.add(func.entry)
+    for retsite in aux.retsites:
+        union.add(retsite.address)
+    for site in aux.branch_sites:
+        for target in site.targets:
+            union.add(target)
+    for resume in aux.setjmp_resumes:
+        union.add(resume)
+
+    branch_targets: Dict[int, Set[int]] = {}
+    for site in aux.branch_sites:
+        targets = _targets_of(site, aux, graph, matcher, plt_resolution)
+        branch_targets[site.site] = targets
+        union.union_all(targets)
+
+    tary_ecns = union.class_numbers()
+    n_classes = len(set(tary_ecns.values()))
+    if n_classes > MAX_ECN:
+        raise CfgGenerationError(
+            f"{n_classes} equivalence classes exceed the 14-bit ECN space")
+
+    # Branches with an empty target set get a fresh ECN that no target
+    # carries: every transfer through them halts (correct: the CFG
+    # allows nothing).
+    bary_ecns: Dict[int, int] = {}
+    next_free = n_classes
+    for site in aux.branch_sites:
+        targets = branch_targets[site.site]
+        if targets:
+            bary_ecns[site.site] = tary_ecns[union.find(next(iter(targets)))]
+        else:
+            bary_ecns[site.site] = next_free
+            next_free += 1
+    # Re-read ECNs through the union-find for all targets (the find()
+    # above returns a representative; class_numbers already assigned per
+    # member, so representative and member numbers agree by class).
+    for site in aux.branch_sites:
+        targets = branch_targets[site.site]
+        if targets:
+            bary_ecns[site.site] = tary_ecns[next(iter(targets))]
+
+    cfg = Cfg(tary_ecns=tary_ecns, bary_ecns=bary_ecns,
+              branch_targets=branch_targets, call_graph=graph,
+              n_classes=n_classes)
+    return cfg
+
+
+def _targets_of(site, aux: AuxInfo, graph: CallGraph, matcher: TypeMatcher,
+                plt_resolution: Optional[Dict[str, int]]) -> Set[int]:
+    if site.kind in ("icall", "tail"):
+        return {f.entry for f in matcher.matches(site.sig)}
+    if site.kind == "ret":
+        return set(graph.return_targets.get(site.fn, ()))
+    if site.kind == "switch":
+        return set(site.targets)
+    if site.kind == "longjmp":
+        return set(aux.setjmp_resumes)
+    if site.kind == "plt":
+        if plt_resolution and site.plt_symbol in plt_resolution:
+            return {plt_resolution[site.plt_symbol]}
+        exported = aux.exports.get(site.plt_symbol)
+        return {exported} if exported is not None else set()
+    raise CfgGenerationError(f"unknown branch-site kind {site.kind!r}")
+
+
+def describe(cfg: Cfg, aux: AuxInfo) -> List[Tuple[str, int, int]]:
+    """Human-readable per-kind summary: (kind, branches, avg targets)."""
+    by_kind: Dict[str, List[int]] = {}
+    for site in aux.branch_sites:
+        by_kind.setdefault(site.kind, []).append(
+            len(cfg.branch_targets.get(site.site, ())))
+    out = []
+    for kind, sizes in sorted(by_kind.items()):
+        avg = sum(sizes) // max(len(sizes), 1)
+        out.append((kind, len(sizes), avg))
+    return out

@@ -1,0 +1,123 @@
+"""Type-matching utilities with *explanations*.
+
+The matching rule itself lives in
+:func:`repro.tinyc.types.signatures_match` (structural equality with
+the variadic fixed-prefix relaxation) and is consumed by
+:class:`repro.cfg.callgraph.TypeMatcher`.  This module adds the
+debugging surface a CFG user needs when a call unexpectedly halts:
+*why* does (or doesn't) this function match that pointer type?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.module.auxinfo import AuxInfo, FunctionAux
+from repro.tinyc.types import FuncSig, signatures_match
+
+
+@dataclass(frozen=True)
+class MatchVerdict:
+    """Why a (pointer signature, function) pair matches or does not."""
+
+    function: str
+    matches: bool
+    reason: str
+
+
+def explain_match(pointer_sig: FuncSig, func: FunctionAux) -> MatchVerdict:
+    """Explain the type-matching decision for one candidate function."""
+    name = func.name
+    if not func.address_taken:
+        return MatchVerdict(name, False,
+                            "function is never address-taken, so it is "
+                            "not an indirect-call target at all")
+    sig = func.sig
+    if pointer_sig == sig:
+        return MatchVerdict(name, True, "signatures are structurally "
+                            "identical")
+    if pointer_sig.variadic:
+        fixed = pointer_sig.params
+        if pointer_sig.ret != sig.ret:
+            return MatchVerdict(
+                name, False,
+                f"variadic pointer returns {pointer_sig.ret} but the "
+                f"function returns {sig.ret}")
+        if sig.params[:len(fixed)] != fixed:
+            return MatchVerdict(
+                name, False,
+                f"fixed parameter prefix {fixed} does not match the "
+                f"function's parameters {sig.params[:len(fixed)]}")
+        return MatchVerdict(name, True,
+                            "variadic rule: return type and fixed "
+                            "parameter prefix match")
+    if pointer_sig.ret != sig.ret:
+        return MatchVerdict(name, False,
+                            f"return types differ: pointer "
+                            f"{pointer_sig.ret} vs function {sig.ret}")
+    if len(pointer_sig.params) != len(sig.params):
+        return MatchVerdict(
+            name, False,
+            f"arity differs: pointer takes {len(pointer_sig.params)} "
+            f"parameters, function takes {len(sig.params)}")
+    for index, (want, have) in enumerate(zip(pointer_sig.params,
+                                             sig.params)):
+        if want != have:
+            return MatchVerdict(
+                name, False,
+                f"parameter {index} differs: pointer {want} vs "
+                f"function {have}")
+    if pointer_sig.variadic != sig.variadic:
+        return MatchVerdict(name, False,
+                            "one side is variadic, the other is not")
+    return MatchVerdict(name, False, "signatures differ structurally")
+
+
+def match_report(pointer_sig: FuncSig, aux: AuxInfo,
+                 include_matches: bool = True,
+                 include_misses: bool = True) -> List[MatchVerdict]:
+    """Explain the decision for every function in a module."""
+    out: List[MatchVerdict] = []
+    for func in aux.functions.values():
+        verdict = explain_match(pointer_sig, func)
+        if verdict.matches and include_matches:
+            out.append(verdict)
+        elif not verdict.matches and include_misses:
+            out.append(verdict)
+    return out
+
+
+def why_blocked(pointer_sig: FuncSig, target_entry: int,
+                aux: AuxInfo) -> str:
+    """Human answer to "why did my indirect call halt here?"."""
+    for func in aux.functions.values():
+        if func.entry == target_entry:
+            verdict = explain_match(pointer_sig, func)
+            if verdict.matches:
+                return (f"{func.name} DOES match {pointer_sig.render()} "
+                        f"— if the transfer halted, the tables are stale "
+                        f"or the site was resolved differently")
+            return f"{func.name}: {verdict.reason}"
+    retsites = {r.address for r in aux.retsites}
+    if target_entry in retsites:
+        return ("target is a return site: only returns (per the call "
+                "graph) may land there, never indirect calls")
+    return (f"{target_entry:#x} is not a function entry, return site, "
+            f"or any other indirect-branch target in this module")
+
+
+def sanity_check(pointer_sig: FuncSig, aux: AuxInfo) -> Optional[str]:
+    """Warn when a pointer type has no targets at all (likely a K1)."""
+    matches = [f for f in aux.functions.values()
+               if f.address_taken and signatures_match(pointer_sig,
+                                                       f.sig)]
+    if matches:
+        return None
+    near = [f.name for f in aux.functions.values()
+            if f.sig.ret == pointer_sig.ret
+            and len(f.sig.params) == len(pointer_sig.params)]
+    hint = f"; near-misses by shape: {', '.join(near[:4])}" if near else ""
+    return (f"no address-taken function matches "
+            f"{pointer_sig.render()} — every call through this pointer "
+            f"will halt (a K1 case; see the analyzer){hint}")

@@ -1,0 +1,87 @@
+"""MCFI's 32-bit ID encoding (paper Fig. 2).
+
+An ID packs, into one 4-byte word:
+
+* four **reserved bits** — the least-significant bit of each byte, with
+  fixed values ``0, 0, 0, 1`` from the high byte to the low byte.  Any
+  4-byte read that starts in the *middle* of a stored ID sees a word
+  whose lowest bit is 0 (it comes from byte 1, 2 or 3 of some entry),
+  so misaligned table lookups can never produce a valid ID;
+* a **14-bit ECN** (equivalence-class number) spread over the free bits
+  of the two high bytes;
+* a **14-bit version number** spread over the free bits of the two low
+  bytes, used by the transactions to detect concurrent updates.
+
+The layout makes the three checks of a check transaction collapse into
+ordinary comparisons, exactly as in the paper:
+
+* full 32-bit equality  <=>  valid + same version + same ECN,
+* ``cmpw`` (low 16 bits) <=>  same version (given both valid),
+* ``testb $1`` (lowest bit) <=>  validity.
+
+The all-zero word is reserved for "this address is not an indirect
+branch target" (its reserved bit is 0, hence never valid).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+ECN_BITS = 14
+VERSION_BITS = 14
+
+MAX_ECN = (1 << ECN_BITS) - 1
+MAX_VERSION = (1 << VERSION_BITS) - 1
+
+#: Tary entry meaning "not a permitted indirect-branch target".
+INVALID_ID = 0
+
+
+class DecodedId(NamedTuple):
+    """An unpacked ID."""
+
+    ecn: int
+    version: int
+    valid: bool
+
+
+def pack_id(ecn: int, version: int) -> int:
+    """Pack an ECN and a version into a valid 32-bit MCFI ID."""
+    if not 0 <= ecn <= MAX_ECN:
+        raise ValueError(f"ECN {ecn} out of 14-bit range")
+    if not 0 <= version <= MAX_VERSION:
+        raise ValueError(f"version {version} out of 14-bit range")
+    low = 1 | ((version & 0x7F) << 1) | (((version >> 7) & 0x7F) << 9)
+    high = ((ecn & 0x7F) << 1) | (((ecn >> 7) & 0x7F) << 9)
+    return (high << 16) | low
+
+
+def unpack_id(ident: int) -> DecodedId:
+    """Unpack a 32-bit word into ``(ecn, version, valid)``.
+
+    ``valid`` reports whether the reserved bits carry their required
+    ``0,0,0,1`` pattern; ``ecn``/``version`` are still extracted for
+    diagnostics even when invalid.
+    """
+    ident &= 0xFFFFFFFF
+    low = ident & 0xFFFF
+    high = ident >> 16
+    version = ((low >> 1) & 0x7F) | (((low >> 9) & 0x7F) << 7)
+    ecn = ((high >> 1) & 0x7F) | (((high >> 9) & 0x7F) << 7)
+    valid = (ident & 0x01010101) == 0x00000001
+    return DecodedId(ecn=ecn, version=version, valid=valid)
+
+
+def is_valid_id(ident: int) -> bool:
+    """True if the word's reserved bits form the valid ``0,0,0,1`` pattern."""
+    return (ident & 0x01010101) == 0x00000001
+
+
+def same_version(left: int, right: int) -> bool:
+    """The ``cmpw`` of Fig. 4: compare the low 16 bits (version halves)."""
+    return (left & 0xFFFF) == (right & 0xFFFF)
+
+
+def bump_version(version: int) -> int:
+    """Advance the global version, wrapping in 14 bits (the ABA caveat)."""
+    return (version + 1) & MAX_VERSION

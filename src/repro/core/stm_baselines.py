@@ -1,0 +1,219 @@
+"""Alternative check-transaction algorithms (paper Sec. 8.1 micro-benchmark).
+
+The paper compares its custom transaction against three classical
+synchronization schemes and reports normalized check-transaction times
+of MCFI 1, TML 2, RWL 29, Mutex 22.  The essential difference is the
+read path:
+
+* **MCFI** packs meta-data (version) and real data (ECN) into a single
+  word, so a check is two loads and one comparison, with a retry loop
+  that only spins during an update.
+* **TML** (transactional mutex lock) keeps a global sequence lock; a
+  reader must sample the sequence word before and after reading the
+  *separate* meta and data words — roughly double the work.
+* **RWL** (readers-writer lock) and **Mutex** take a lock per check;
+  on x86 the LOCK-prefixed RMW dominates, here the lock acquire/release
+  calls dominate.
+
+All four expose the same interface so the micro-benchmark and the
+concurrency tests treat them uniformly.  They operate on plain Python
+lists rather than the VM table memory: the benchmark compares algorithm
+shapes, not VM dispatch overhead.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.idencoding import (
+    MAX_VERSION,
+    is_valid_id,
+    pack_id,
+    same_version,
+)
+
+
+class CheckAlgorithm:
+    """Common interface: ``check`` on the read side, ``update`` on write."""
+
+    name = "base"
+
+    def __init__(self, n_sites: int, n_targets: int,
+                 bary_ecns: Mapping[int, int],
+                 tary_ecns: Mapping[int, int]) -> None:
+        self.n_sites = n_sites
+        self.n_targets = n_targets
+        self._bary_ecns = dict(bary_ecns)
+        self._tary_ecns = dict(tary_ecns)
+
+    def check(self, site: int, target: int) -> bool:
+        raise NotImplementedError
+
+    def update(self) -> None:
+        """Re-install all IDs with a new version (a Fig. 6 refresh)."""
+        raise NotImplementedError
+
+
+class McfiChecker(CheckAlgorithm):
+    """MCFI's single-word combined version+ECN scheme."""
+
+    name = "MCFI"
+
+    def __init__(self, n_sites, n_targets, bary_ecns, tary_ecns) -> None:
+        super().__init__(n_sites, n_targets, bary_ecns, tary_ecns)
+        self.version = 0
+        self.bary: List[int] = [0] * n_sites
+        self.tary: List[int] = [0] * n_targets
+        self._install(self.version)
+
+    def _install(self, version: int) -> None:
+        for site, ecn in self._bary_ecns.items():
+            self.bary[site] = pack_id(ecn, version)
+        for target, ecn in self._tary_ecns.items():
+            self.tary[target] = pack_id(ecn, version)
+
+    def check(self, site: int, target: int) -> bool:
+        bary = self.bary
+        tary = self.tary
+        while True:
+            branch_id = bary[site]
+            target_id = tary[target]
+            if branch_id == target_id:
+                return True
+            if not is_valid_id(target_id):
+                return False
+            if not same_version(branch_id, target_id):
+                continue  # concurrent update: retry
+            return False
+
+    def update(self) -> None:
+        self.version = (self.version + 1) & MAX_VERSION
+        # Tary first, then Bary (Fig. 3 ordering).
+        for target, ecn in self._tary_ecns.items():
+            self.tary[target] = pack_id(ecn, self.version)
+        for site, ecn in self._bary_ecns.items():
+            self.bary[site] = pack_id(ecn, self.version)
+
+
+class TmlChecker(CheckAlgorithm):
+    """TML-style sequence lock with meta-data split from real data."""
+
+    name = "TML"
+
+    def __init__(self, n_sites, n_targets, bary_ecns, tary_ecns) -> None:
+        super().__init__(n_sites, n_targets, bary_ecns, tary_ecns)
+        self.seq = 0  # even = quiescent, odd = writer active
+        self.bary_ecn: List[int] = [-1] * n_sites
+        self.tary_ecn: List[int] = [-1] * n_targets
+        self.tary_valid: List[bool] = [False] * n_targets
+        for site, ecn in bary_ecns.items():
+            self.bary_ecn[site] = ecn
+        for target, ecn in tary_ecns.items():
+            self.tary_ecn[target] = ecn
+            self.tary_valid[target] = True
+
+    def check(self, site: int, target: int) -> bool:
+        while True:
+            seq_before = self.seq
+            if seq_before & 1:
+                continue  # writer active: retry
+            branch_ecn = self.bary_ecn[site]
+            target_ok = self.tary_valid[target]
+            target_ecn = self.tary_ecn[target]
+            if self.seq != seq_before:
+                continue  # torn read: retry
+            return target_ok and branch_ecn == target_ecn
+
+    def update(self) -> None:
+        self.seq += 1  # odd: lock out readers
+        for target, ecn in self._tary_ecns.items():
+            self.tary_ecn[target] = ecn
+            self.tary_valid[target] = True
+        for site, ecn in self._bary_ecns.items():
+            self.bary_ecn[site] = ecn
+        self.seq += 1
+
+
+class _LockedTables(CheckAlgorithm):
+    """Shared storage for the lock-based schemes."""
+
+    def __init__(self, n_sites, n_targets, bary_ecns, tary_ecns) -> None:
+        super().__init__(n_sites, n_targets, bary_ecns, tary_ecns)
+        self.bary_ecn: List[int] = [-1] * n_sites
+        self.tary_ecn: List[int] = [-2] * n_targets
+        for site, ecn in bary_ecns.items():
+            self.bary_ecn[site] = ecn
+        for target, ecn in tary_ecns.items():
+            self.tary_ecn[target] = ecn
+
+    def _read(self, site: int, target: int) -> bool:
+        return self.bary_ecn[site] == self.tary_ecn[target]
+
+    def _write(self) -> None:
+        for target, ecn in self._tary_ecns.items():
+            self.tary_ecn[target] = ecn
+        for site, ecn in self._bary_ecns.items():
+            self.bary_ecn[site] = ecn
+
+
+class RwlChecker(_LockedTables):
+    """Readers-writer lock (reader-preference, counter + mutex pair).
+
+    Each check performs two mutex round-trips (enter/exit the read
+    side), modelling the two LOCK-prefixed RMWs of the paper's RWL.
+    """
+
+    name = "RWL"
+
+    def __init__(self, n_sites, n_targets, bary_ecns, tary_ecns) -> None:
+        super().__init__(n_sites, n_targets, bary_ecns, tary_ecns)
+        self._count_lock = threading.Lock()
+        self._write_lock = threading.Lock()
+        self._readers = 0
+
+    def check(self, site: int, target: int) -> bool:
+        with self._count_lock:
+            self._readers += 1
+            if self._readers == 1:
+                self._write_lock.acquire()
+        try:
+            return self._read(site, target)
+        finally:
+            with self._count_lock:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._write_lock.release()
+
+    def update(self) -> None:
+        with self._write_lock:
+            self._write()
+
+
+class MutexChecker(_LockedTables):
+    """A single compare-and-swap mutex around every check."""
+
+    name = "Mutex"
+
+    def __init__(self, n_sites, n_targets, bary_ecns, tary_ecns) -> None:
+        super().__init__(n_sites, n_targets, bary_ecns, tary_ecns)
+        self._lock = threading.Lock()
+
+    def check(self, site: int, target: int) -> bool:
+        with self._lock:
+            return self._read(site, target)
+
+    def update(self) -> None:
+        with self._lock:
+            self._write()
+
+
+ALGORITHMS = (McfiChecker, TmlChecker, RwlChecker, MutexChecker)
+
+
+def make_workload(n_sites: int = 64, n_targets: int = 1024,
+                  n_classes: int = 16) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Deterministic ECN assignment for the micro-benchmark."""
+    bary = {site: site % n_classes for site in range(n_sites)}
+    tary = {target: target % n_classes for target in range(n_targets)}
+    return bary, tary

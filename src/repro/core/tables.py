@@ -1,0 +1,143 @@
+"""High-level view over the Bary/Tary ID tables (paper Sec. 5.1).
+
+The raw storage is :class:`repro.vm.memory.TableMemory`; this module
+adds the MCFI semantics:
+
+* **Tary** maps a code address to the ID of the equivalence class the
+  address belongs to.  It is a dense array indexed by code address
+  (identity mapping), with entries only at 4-byte-aligned addresses —
+  the space optimization that motivates the alignment no-ops.
+* **Bary** maps an indirect-branch *site number* to the branch's ID.
+  Site numbers are assigned by the loader, which patches each branch's
+  ``tload`` immediate with ``4 * site`` (the "constant Bary table
+  indexes" of the paper).
+
+Writes go through :class:`repro.core.transactions.UpdateTransaction`
+during dynamic linking; the direct ``install_*`` methods here are for
+initial load, before any application thread runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.core.idencoding import (
+    INVALID_ID,
+    is_valid_id,
+    pack_id,
+    unpack_id,
+)
+from repro.errors import RuntimeError_
+from repro.vm.memory import TableMemory
+
+
+def tary_index(address: int) -> int:
+    """Tary byte index for a code address (identity; must be 4-aligned)."""
+    if address % 4:
+        raise RuntimeError_(
+            f"indirect-branch target {address:#x} is not 4-byte aligned")
+    return address
+
+
+def bary_index(site: int) -> int:
+    """Bary byte index for a branch site number."""
+    return 4 * site
+
+
+class IdTables:
+    """Typed accessors over a :class:`TableMemory`.
+
+    Tracks the global version number and the currently-installed ECN
+    assignment so update transactions can be generated from a new CFG.
+    """
+
+    def __init__(self, tables: TableMemory) -> None:
+        self.memory = tables
+        self.version = 0
+        #: Current ECN of every permitted target address.
+        self.tary_ecns: Dict[int, int] = {}
+        #: Current ECN of every branch site.
+        self.bary_ecns: Dict[int, int] = {}
+        #: ABA mitigation (paper Sec. 5.2): update transactions executed
+        #: since the last quiescence reset.  Security is violated only
+        #: if 2^14 updates complete *during one check transaction*, so
+        #: the counter may be reset whenever every thread has been
+        #: observed outside a check (e.g. at a system call).
+        self.updates_since_reset = 0
+
+    def note_update(self) -> None:
+        from repro.core.idencoding import MAX_VERSION
+        from repro.errors import RuntimeError_
+        if self.updates_since_reset + 1 >= MAX_VERSION:
+            raise RuntimeError_(
+                "ID version space exhausted before a quiescence reset "
+                "(the ABA hazard of Sec. 5.2); a reset requires every "
+                "thread to pass a quiescent point")
+        self.updates_since_reset += 1
+
+    def aba_reset(self) -> None:
+        """Reset the update counter (caller observed quiescence)."""
+        self.updates_since_reset = 0
+
+    # -- initial installation (program load, single-threaded) -------------
+
+    def install(self, tary_ecns: Mapping[int, int],
+                bary_ecns: Mapping[int, int],
+                version: Optional[int] = None) -> None:
+        """Install a complete ID assignment non-transactionally.
+
+        Only valid before application threads start (initial load).
+        """
+        if version is not None:
+            self.version = version
+        for address, ecn in tary_ecns.items():
+            self.memory.write_tary(tary_index(address),
+                                   pack_id(ecn, self.version))
+        for site, ecn in bary_ecns.items():
+            self.memory.write_bary(bary_index(site),
+                                   pack_id(ecn, self.version))
+        self.tary_ecns = dict(tary_ecns)
+        self.bary_ecns = dict(bary_ecns)
+
+    # -- reads (used by tests, the Python-level check, and diagnostics) ---
+
+    def target_id(self, address: int) -> int:
+        return self.memory.read_tary(address)
+
+    def branch_id(self, site: int) -> int:
+        return self.memory.read_bary(bary_index(site))
+
+    def target_ecn(self, address: int) -> Optional[int]:
+        """Decoded ECN of a target address, or None if not a target."""
+        ident = self.memory.read_tary(tary_index(address))
+        if not is_valid_id(ident):
+            return None
+        return unpack_id(ident).ecn
+
+    def permitted(self, site: int, address: int) -> bool:
+        """Would a (quiescent) check transaction allow site -> address?"""
+        if address % 4:
+            return False
+        try:
+            target = self.memory.read_tary(address)
+        except Exception:
+            return False
+        branch = self.branch_id(site)
+        return is_valid_id(target) and target == branch
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def clear_targets(self, addresses: Iterable[int]) -> None:
+        """Zero Tary entries (e.g. when unloading a module)."""
+        for address in addresses:
+            self.memory.write_tary(tary_index(address), INVALID_ID)
+            self.tary_ecns.pop(address, None)
+
+    def stats(self) -> Dict[str, int]:
+        ecns = set(self.tary_ecns.values())
+        return {
+            "targets": len(self.tary_ecns),
+            "branch_sites": len(self.bary_ecns),
+            "equivalence_classes": len(ecns),
+            "version": self.version,
+        }

@@ -1,0 +1,266 @@
+"""MCFI's table-access transactions (paper Sec. 5.2, Figs. 3-4).
+
+Two transaction kinds coordinate the ID tables:
+
+* **Check transactions** run before every indirect branch.  In this
+  reproduction they exist twice, deliberately:
+
+  - as the *instruction sequence* emitted by
+    :mod:`repro.core.instrument` and executed by the SimVM — the real
+    enforcement path; and
+  - as :func:`tx_check` below, a Python transcription of Fig. 4 used by
+    the STM micro-benchmark and by concurrency tests that need to call
+    the check millions of times without VM overhead.
+
+* **Update transactions** run during dynamic linking.
+  :class:`UpdateTransaction` follows Fig. 3: serialize on a global
+  update lock, bump the global version, rebuild and copy the Tary
+  table, issue a write barrier (the Tary/Bary ordering point — also
+  where GOT entries are updated, per the PLT discussion), then update
+  the Bary table.  It is a *generator*: each ``yield`` ends one atomic
+  batch of 4-byte stores (the paper's ``movnti`` parallel copy), so the
+  scheduler can interleave check transactions anywhere in the middle.
+
+The linearization points match the paper: an update becomes visible at
+the barrier between the two table updates; a check linearizes at its
+Tary read.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Mapping, Optional, Tuple
+
+from repro.core.idencoding import (
+    bump_version,
+    is_valid_id,
+    pack_id,
+    same_version,
+)
+from repro.core.tables import IdTables, bary_index, tary_index
+from repro.errors import MemoryFault, RuntimeError_
+
+
+class CheckResult:
+    """Outcome codes for a Python-level check transaction."""
+
+    ALLOWED = "allowed"
+    INVALID_TARGET = "invalid-target"
+    ECN_MISMATCH = "ecn-mismatch"
+    OUT_OF_RANGE = "out-of-range"
+
+
+def tx_check(tables: IdTables, site: int, target: int,
+             max_retries: int = 1_000_000) -> Tuple[str, int]:
+    """Python transcription of the Fig. 4 check transaction.
+
+    Returns ``(result, retries)``.  Retries when the branch and target
+    IDs are both valid but carry different versions (an update is in
+    flight); the retry count is how Fig. 6's update-induced delay shows
+    up at this level.
+    """
+    memory = tables.memory
+    bindex = bary_index(site)
+    target &= 0xFFFFFFFF  # the movl %ecx,%ecx sandboxing step
+    retries = 0
+    while True:
+        branch_id = memory.read_bary(bindex)
+        try:
+            target_id = memory.read_tary(target)
+        except MemoryFault:
+            return CheckResult.OUT_OF_RANGE, retries
+        if branch_id == target_id:
+            return CheckResult.ALLOWED, retries
+        if not is_valid_id(target_id):
+            return CheckResult.INVALID_TARGET, retries
+        if not same_version(branch_id, target_id):
+            retries += 1
+            if retries > max_retries:
+                raise RuntimeError_("check transaction livelocked")
+            continue
+        return CheckResult.ECN_MISMATCH, retries
+
+
+def tx_check_gen(tables: IdTables, site: int, target: int,
+                 sink: Optional[List[Tuple[str, int]]] = None,
+                 ) -> Generator[None, None, Tuple[str, int]]:
+    """Scheduler-friendly check transaction: yields on every retry.
+
+    On real hardware a retrying check transaction re-executes its loads
+    while the updater's stores proceed in parallel; in the cooperative
+    scheduler that parallelism is a ``yield`` per retry.  Appends the
+    final ``(result, retries)`` to ``sink`` if given (generators' return
+    values are awkward to collect from scheduler tasks).
+    """
+    memory = tables.memory
+    bindex = bary_index(site)
+    target &= 0xFFFFFFFF
+    retries = 0
+    while True:
+        branch_id = memory.read_bary(bindex)
+        try:
+            target_id = memory.read_tary(target)
+        except MemoryFault:
+            outcome = (CheckResult.OUT_OF_RANGE, retries)
+            break
+        if branch_id == target_id:
+            outcome = (CheckResult.ALLOWED, retries)
+            break
+        if not is_valid_id(target_id):
+            outcome = (CheckResult.INVALID_TARGET, retries)
+            break
+        if not same_version(branch_id, target_id):
+            retries += 1
+            yield
+            continue
+        outcome = (CheckResult.ECN_MISMATCH, retries)
+        break
+    if sink is not None:
+        sink.append(outcome)
+    return outcome
+
+
+class UpdateLock:
+    """The global update lock serializing update transactions.
+
+    Update transactions are rare, so a simple test-and-set with
+    cooperative spinning (yield per failed attempt) suffices — the
+    paper makes the same simplicity argument.
+    """
+
+    def __init__(self) -> None:
+        self._held_by: Optional[str] = None
+
+    @property
+    def held(self) -> bool:
+        return self._held_by is not None
+
+    def acquire_spin(self, owner: str) -> Generator[None, None, None]:
+        while self._held_by is not None:
+            yield
+        self._held_by = owner
+
+    def release(self, owner: str) -> None:
+        if self._held_by != owner:
+            raise RuntimeError_(
+                f"update lock released by {owner!r} but held by "
+                f"{self._held_by!r}")
+        self._held_by = None
+
+
+class UpdateTransaction:
+    """One Fig. 3 update transaction, runnable as a scheduler task.
+
+    ``new_tary`` / ``new_bary`` give the complete ECN assignment for the
+    *new* CFG (existing entries are rewritten with the new version; new
+    entries appear; entries absent from the new assignment are zeroed).
+    ``got_updates`` is a list of ``(address, value)`` 8-byte stores
+    applied between the barrier and the Bary update — the PLT/GOT
+    adjustment point.
+    """
+
+    def __init__(self, tables: IdTables, lock: UpdateLock,
+                 new_tary: Mapping[int, int], new_bary: Mapping[int, int],
+                 got_writer: Optional[Callable[[int, int], None]] = None,
+                 got_updates: Optional[List[Tuple[int, int]]] = None,
+                 batch: int = 64, owner: str = "dynamic-linker") -> None:
+        self.tables = tables
+        self.lock = lock
+        self.new_tary = dict(new_tary)
+        self.new_bary = dict(new_bary)
+        self.got_writer = got_writer
+        self.got_updates = got_updates or []
+        self.batch = max(1, batch)
+        self.owner = owner
+        self.completed = False
+
+    def run(self) -> Generator[None, None, None]:
+        tables = self.tables
+        memory = tables.memory
+        yield from self.lock.acquire_spin(self.owner)
+        try:
+            version = bump_version(tables.version)
+
+            # -- updTaryTable: construct then parallel-copy ---------------
+            stale = [addr for addr in tables.tary_ecns
+                     if addr not in self.new_tary]
+            writes = [(tary_index(addr), pack_id(ecn, version))
+                      for addr, ecn in self.new_tary.items()]
+            writes += [(tary_index(addr), 0) for addr in stale]
+            count = 0
+            for index, ident in writes:
+                memory.write_tary(index, ident)
+                count += 1
+                if count % self.batch == 0:
+                    yield
+
+            # -- memory write barrier (linearization point) ---------------
+            yield
+
+            # -- GOT updates (PLT targets), serialized by a second barrier
+            if self.got_updates:
+                if self.got_writer is None:
+                    raise RuntimeError_("GOT updates without a writer")
+                for address, value in self.got_updates:
+                    self.got_writer(address, value)
+                yield
+
+            # -- updBaryTable ---------------------------------------------
+            count = 0
+            for site, ecn in self.new_bary.items():
+                memory.write_bary(bary_index(site), pack_id(ecn, version))
+                count += 1
+                if count % self.batch == 0:
+                    yield
+            # Branch sites absent from the new CFG (an unloaded module)
+            # are zeroed: a stale branch ID never matches any valid
+            # target ID, so orphaned code halts fail-safe.
+            for site in tables.bary_ecns:
+                if site not in self.new_bary:
+                    memory.write_bary(bary_index(site), 0)
+
+            tables.version = version
+            tables.tary_ecns = dict(self.new_tary)
+            tables.bary_ecns = dict(self.new_bary)
+            tables.note_update()
+            self.completed = True
+        finally:
+            self.lock.release(self.owner)
+
+
+def refresh_transaction(tables: IdTables, lock: UpdateLock,
+                        batch: int = 256) -> UpdateTransaction:
+    """An update transaction that re-installs the current CFG.
+
+    It changes every ID's version but preserves all ECNs — exactly the
+    Fig. 6 simulation experiment ("updates the version numbers of all
+    IDs in the ID tables (but preserving the ECNs)").
+    """
+    return UpdateTransaction(
+        tables, lock,
+        new_tary=dict(tables.tary_ecns),
+        new_bary=dict(tables.bary_ecns),
+        batch=batch,
+        owner="fig6-updater",
+    )
+
+
+def periodic_updater(tables: IdTables, lock: UpdateLock, cycles_of,
+                     interval: int, batch: int = 256,
+                     stop: Optional[Callable[[], bool]] = None,
+                     counter: Optional[Dict[str, int]] = None,
+                     ) -> Generator[None, None, None]:
+    """Scheduler task firing a refresh transaction every ``interval`` cycles.
+
+    ``cycles_of`` is a zero-argument callable returning the observed
+    cycle clock (usually the main CPU's ``cycles``); 50 Hz in the paper
+    maps to one refresh per ``interval`` model cycles here.
+    """
+    next_at = interval
+    while stop is None or not stop():
+        if cycles_of() >= next_at:
+            yield from refresh_transaction(tables, lock, batch=batch).run()
+            if counter is not None:
+                counter["updates"] = counter.get("updates", 0) + 1
+            next_at += interval
+        else:
+            yield

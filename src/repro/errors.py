@@ -1,0 +1,132 @@
+"""Exception hierarchy for the MCFI reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one base class at the API boundary.  Sub-hierarchies
+mirror the subsystems: the TinyC frontend, the virtual machine, the MCFI
+runtime, and the verifier.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# TinyC frontend
+# ---------------------------------------------------------------------------
+
+class TinyCError(ReproError):
+    """Base class for TinyC frontend errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class LexError(TinyCError):
+    """Raised when the lexer encounters an invalid character or literal."""
+
+
+class ParseError(TinyCError):
+    """Raised when the parser encounters a syntax error."""
+
+
+class TypeError_(TinyCError):
+    """Raised when the type checker rejects a program.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Code generation and assembly
+# ---------------------------------------------------------------------------
+
+class CodegenError(ReproError):
+    """Raised when lowering or code generation cannot proceed."""
+
+
+class AssemblerError(ReproError):
+    """Raised for unresolved labels, bad alignment, or operand overflow."""
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+# ---------------------------------------------------------------------------
+# Virtual machine
+# ---------------------------------------------------------------------------
+
+class VMError(ReproError):
+    """Base class for virtual machine faults."""
+
+
+class MemoryFault(VMError):
+    """Raised for an access to unmapped memory or a protection violation."""
+
+    def __init__(self, address: int, kind: str, message: str = "") -> None:
+        self.address = address
+        self.kind = kind
+        detail = f" ({message})" if message else ""
+        super().__init__(f"memory fault: {kind} at {address:#x}{detail}")
+
+
+class InvalidInstruction(VMError):
+    """Raised when the CPU fetches bytes that do not decode."""
+
+
+class CfiViolation(VMError):
+    """Raised when an MCFI check transaction halts the program.
+
+    The ``hlt`` at the end of a check transaction maps to this exception:
+    an indirect branch attempted a transfer not permitted by the CFG.
+    """
+
+    def __init__(self, branch_address: int, target_address: int,
+                 reason: str) -> None:
+        self.branch_address = branch_address
+        self.target_address = target_address
+        self.reason = reason
+        super().__init__(
+            f"CFI violation: branch at {branch_address:#x} -> "
+            f"{target_address:#x} ({reason})")
+
+
+class SandboxViolation(VMError):
+    """Raised when code attempts to escape the data sandbox."""
+
+
+# ---------------------------------------------------------------------------
+# MCFI runtime, linking and verification
+# ---------------------------------------------------------------------------
+
+class RuntimeError_(ReproError):
+    """Base class for MCFI runtime errors (loading, syscalls, W^X)."""
+
+
+class WxViolation(RuntimeError_):
+    """Raised when a mapping would be both writable and executable."""
+
+
+class LinkError(ReproError):
+    """Raised by the static or dynamic linker (e.g. unresolved symbols)."""
+
+
+class VerificationError(ReproError):
+    """Raised when the modular verifier rejects a module."""
+
+    def __init__(self, message: str, address: int | None = None) -> None:
+        self.address = address
+        if address is not None:
+            message = f"{message} (at {address:#x})"
+        super().__init__(message)
+
+
+class CfgGenerationError(ReproError):
+    """Raised when CFG generation fails (e.g. unknown symbol types)."""

@@ -1,0 +1,281 @@
+"""Two-pass assembler for symbolic SimISA assembly.
+
+Code generation and MCFI instrumentation both operate on *symbolic
+assembly*: a flat list of items mixing instructions (whose operands may
+reference labels), labels, alignment directives, raw data, and *marks*.
+The assembler lays the items out at a base address, resolves label
+references, and returns the final byte image together with everything
+downstream consumers need:
+
+* label addresses (function entries, jump tables, ...),
+* mark addresses — the auxiliary-information hooks used to build an MCFI
+  module's type/CFG metadata after layout,
+* Bary-slot patch sites — the ``tload`` immediates that MCFI's loader
+  patches with the branch's Bary table index (Sec. 5.1 of the paper),
+* absolute relocations, so a module can be re-based.
+
+Two alignment directives mirror the paper's instrumentation needs:
+
+* :class:`Align` pads to an ``n``-byte boundary (used before indirect
+  branch *targets*: address-taken function entries, switch-case blocks,
+  setjmp resume points).
+* :class:`AlignEnd` pads so that the *end* of the next instruction falls
+  on an ``n``-byte boundary — used before ``call`` instructions so the
+  return site that follows the call is 4-byte aligned and therefore has
+  a Tary table entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.errors import AssemblerError
+from repro.isa.encoding import encode
+from repro.isa.instructions import (
+    Instruction,
+    Op,
+    OperandKind,
+    SPECS,
+    instruction_length,
+)
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """Symbolic reference to a label, usable as an instruction operand.
+
+    In a REL32 operand slot it resolves to a PC-relative displacement; in
+    an IMM64 slot it resolves to the label's absolute address (and emits
+    an absolute relocation); in an IMM32 slot it resolves to the label's
+    absolute address if it fits.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BarySlot:
+    """Placeholder for a Bary table index, patched by the loader.
+
+    ``site`` is the module-local indirect-branch site number.  The
+    assembler records the byte offset of the 4-byte immediate so the
+    loader can write the process-global Bary index there (the paper's
+    "loader patches the code to embed constant Bary table indexes").
+    """
+
+    site: int
+
+
+Operand = Union[int, LabelRef, BarySlot]
+
+
+@dataclass(frozen=True)
+class AsmInstr:
+    """An instruction whose operands may be symbolic."""
+
+    op: Op
+    operands: Tuple[Operand, ...] = ()
+
+    @property
+    def length(self) -> int:
+        return instruction_length(self.op)
+
+
+@dataclass(frozen=True)
+class Label:
+    name: str
+
+
+@dataclass(frozen=True)
+class Align:
+    """Pad with NOPs to an ``n``-byte boundary."""
+
+    n: int = 4
+
+
+@dataclass(frozen=True)
+class AlignEnd:
+    """Pad with NOPs so the next instruction *ends* on an ``n`` boundary."""
+
+    n: int = 4
+
+
+@dataclass(frozen=True)
+class Data:
+    """Raw bytes placed in the image (read-only data, strings)."""
+
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class DataWord:
+    """An 8-byte little-endian word; may reference a label (jump tables)."""
+
+    value: Union[int, LabelRef]
+
+
+@dataclass(frozen=True)
+class Mark:
+    """Bind ``(kind, info)`` to the address of the next item emitted.
+
+    Marks carry no bytes.  They are how the compiler and instrumenter
+    communicate machine-level facts (function entries, return sites,
+    indirect-branch sites) to the MCFI auxiliary-information builder.
+    """
+
+    kind: str
+    info: object = None
+
+
+Item = Union[AsmInstr, Label, Align, AlignEnd, Data, DataWord, Mark]
+
+
+@dataclass
+class Assembled:
+    """Result of assembling one item list at a base address."""
+
+    base: int
+    code: bytes
+    labels: Dict[str, int]
+    marks: List[Tuple[str, object, int]] = field(default_factory=list)
+    bary_slots: Dict[int, int] = field(default_factory=dict)
+    abs_relocs: List[int] = field(default_factory=list)
+    instr_addresses: List[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.code)
+
+    def marks_of(self, kind: str) -> List[Tuple[object, int]]:
+        """Return ``(info, address)`` for every mark of ``kind``."""
+        return [(info, addr) for k, info, addr in self.marks if k == kind]
+
+
+_NOP = encode(Instruction(Op.NOP))
+
+
+def assemble(items: Sequence[Item], base: int = 0,
+             extern: Dict[str, int] | None = None) -> Assembled:
+    """Assemble ``items`` into bytes at ``base``.
+
+    Layout is a single deterministic pass (all instruction lengths are
+    static); label resolution is a second pass.  ``extern`` supplies
+    addresses of labels defined outside these items (globals in the
+    data region, imported functions) — the linker's job.
+    """
+    # Pass 1: layout -- compute the address of every item.  Locally
+    # defined labels shadow extern labels (a library may define a symbol
+    # the main program routes through a PLT alias).
+    addresses: List[int] = []
+    labels: Dict[str, int] = {}
+    extern_labels: Dict[str, int] = dict(extern) if extern else {}
+    address = base
+    for index, item in enumerate(items):
+        if isinstance(item, Align):
+            pad = (-address) % item.n
+            addresses.append(address)
+            address += pad
+        elif isinstance(item, AlignEnd):
+            next_len = _next_instr_length(items, index)
+            pad = (-(address + next_len)) % item.n
+            addresses.append(address)
+            address += pad
+        elif isinstance(item, Label):
+            if item.name in labels:
+                raise AssemblerError(f"duplicate label {item.name!r}")
+            labels[item.name] = address
+            addresses.append(address)
+        elif isinstance(item, Mark):
+            addresses.append(address)
+        elif isinstance(item, AsmInstr):
+            addresses.append(address)
+            address += item.length
+        elif isinstance(item, Data):
+            addresses.append(address)
+            address += len(item.payload)
+        elif isinstance(item, DataWord):
+            addresses.append(address)
+            address += 8
+        else:
+            raise AssemblerError(f"unknown assembly item {item!r}")
+
+    # Pass 2: emit bytes and resolve references.
+    resolve: Dict[str, int] = dict(extern_labels)
+    resolve.update(labels)
+    out = bytearray()
+    result = Assembled(base=base, code=b"", labels=labels)
+    for index, item in enumerate(items):
+        addr = addresses[index]
+        if isinstance(item, (Align, AlignEnd)):
+            if isinstance(item, Align):
+                pad = (-addr) % item.n
+            else:
+                pad = (-(addr + _next_instr_length(items, index))) % item.n
+            out += _NOP * pad
+        elif isinstance(item, Label):
+            pass
+        elif isinstance(item, Mark):
+            result.marks.append((item.kind, item.info, addr))
+        elif isinstance(item, AsmInstr):
+            result.instr_addresses.append(addr)
+            out += _resolve_and_encode(item, addr, resolve, result, base)
+        elif isinstance(item, Data):
+            out += item.payload
+        elif isinstance(item, DataWord):
+            value = item.value
+            if isinstance(value, LabelRef):
+                value = _lookup(resolve, value.name)
+                result.abs_relocs.append(addr - base)
+            out += (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+    result.code = bytes(out)
+    return result
+
+
+def _next_instr_length(items: Sequence[Item], index: int) -> int:
+    """Length of the first instruction at or after ``index`` + 1."""
+    for item in items[index + 1:]:
+        if isinstance(item, AsmInstr):
+            return item.length
+        if isinstance(item, (Data, DataWord, Align, AlignEnd)):
+            break
+    raise AssemblerError("AlignEnd directive not followed by an instruction")
+
+
+def _lookup(labels: Dict[str, int], name: str) -> int:
+    try:
+        return labels[name]
+    except KeyError:
+        raise AssemblerError(f"undefined label {name!r}") from None
+
+
+def _resolve_and_encode(item: AsmInstr, addr: int, labels: Dict[str, int],
+                        result: Assembled, base: int) -> bytes:
+    spec = SPECS[item.op]
+    resolved: List[int] = []
+    field_offset = 1  # skip the opcode byte
+    for kind, operand in zip(spec.operands, item.operands):
+        width = {OperandKind.REG: 1, OperandKind.IMM8: 1,
+                 OperandKind.IMM32: 4, OperandKind.REL32: 4,
+                 OperandKind.IMM64: 8}[kind]
+        if isinstance(operand, LabelRef):
+            target = _lookup(labels, operand.name)
+            if kind is OperandKind.REL32:
+                resolved.append(target - (addr + item.length))
+            elif kind is OperandKind.IMM64:
+                resolved.append(target)
+                result.abs_relocs.append(addr + field_offset - base)
+            elif kind is OperandKind.IMM32:
+                resolved.append(target)
+            else:
+                raise AssemblerError(
+                    f"label {operand.name!r} used in a {kind.value} slot")
+        elif isinstance(operand, BarySlot):
+            if kind is not OperandKind.IMM32:
+                raise AssemblerError("BarySlot must fill an imm32 slot")
+            result.bary_slots[operand.site] = addr + field_offset - base
+            resolved.append(0)
+        else:
+            resolved.append(int(operand))
+        field_offset += width
+    return encode(Instruction(item.op, tuple(resolved)))

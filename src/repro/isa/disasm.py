@@ -1,0 +1,101 @@
+"""Linear-sweep disassembler for SimISA code images.
+
+Used by the modular verifier (:mod:`repro.core.verifier`), the ROP
+gadget scanner (:mod:`repro.attacks.gadgets`) and for human-readable
+dumps in the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import EncodingError
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instruction
+
+
+@dataclass(frozen=True)
+class DecodedInstr:
+    """One decoded instruction, tagged with its absolute address."""
+
+    address: int
+    instr: Instruction
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.address + self.length
+
+
+def linear_sweep(code: bytes, base: int = 0) -> List[DecodedInstr]:
+    """Disassemble ``code`` from its first byte to the end.
+
+    Raises :class:`EncodingError` if any byte fails to decode: a
+    well-formed MCFI module must disassemble completely (the paper's
+    verifier relies on complete disassembly enabled by the module's
+    auxiliary information).
+    """
+    out: List[DecodedInstr] = []
+    offset = 0
+    while offset < len(code):
+        instr, length = decode(code, offset)
+        out.append(DecodedInstr(base + offset, instr, length))
+        offset += length
+    return out
+
+
+def sweep_ranges(code: bytes, base: int,
+                 ranges: List[Tuple[int, int]]) -> List[DecodedInstr]:
+    """Disassemble only the given ``[start, end)`` address ranges.
+
+    MCFI modules interleave code with read-only data (jump tables); the
+    auxiliary information tells the verifier which ranges are code.
+    """
+    out: List[DecodedInstr] = []
+    for start, end in ranges:
+        offset = start - base
+        while offset < end - base:
+            instr, length = decode(code, offset)
+            out.append(DecodedInstr(base + offset, instr, length))
+            offset += length
+        if base + offset != end:
+            raise EncodingError(
+                f"code range [{start:#x},{end:#x}) does not end on an "
+                f"instruction boundary")
+    return out
+
+
+def try_decode_at(code: bytes, offset: int) -> Optional[Tuple[Instruction, int]]:
+    """Decode at an arbitrary offset; return None if undecodable.
+
+    This is the gadget scanner's primitive: unlike :func:`linear_sweep`,
+    decoding may start in the middle of a real instruction.
+    """
+    try:
+        return decode(code, offset)
+    except EncodingError:
+        return None
+
+
+def format_instr(decoded: DecodedInstr,
+                 labels: Optional[Dict[int, str]] = None) -> str:
+    """Render one instruction as ``address: text`` with label annotation."""
+    text = str(decoded.instr)
+    spec = decoded.instr.spec
+    if spec.is_branch and not spec.is_indirect:
+        target = decoded.instr.branch_target(decoded.address)
+        name = labels.get(target) if labels else None
+        suffix = f" <{name}>" if name else ""
+        text = f"{spec.mnemonic} {target:#x}{suffix}"
+    return f"{decoded.address:#010x}: {text}"
+
+
+def dump(code: bytes, base: int = 0,
+         labels: Optional[Dict[int, str]] = None) -> Iterator[str]:
+    """Yield formatted lines for a whole code image."""
+    label_at = labels or {}
+    for decoded in linear_sweep(code, base):
+        if decoded.address in label_at:
+            yield f"{label_at[decoded.address]}:"
+        yield "  " + format_instr(decoded, labels)

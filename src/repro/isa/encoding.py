@@ -1,0 +1,133 @@
+"""Byte-exact encoder/decoder for SimISA instructions.
+
+The encoding is deliberately simple but *variable length* (1 to 10
+bytes): one opcode byte followed by operand bytes, little-endian.  The
+decoder validates opcode bytes and register numbers, so — exactly as on
+x86 — an arbitrary byte offset into the code image may or may not decode,
+and a byte sequence can decode differently depending on where decoding
+starts.  The ROP gadget scanner and the paper's "gadgets starting in the
+middle of an instruction" discussion rely on this property.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Tuple
+
+from repro.errors import EncodingError
+from repro.isa.instructions import (
+    SPECS,
+    Instruction,
+    Op,
+    OperandKind,
+)
+from repro.isa.registers import NUM_REGS
+
+_OPCODE_VALUES = {int(op) for op in Op}
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def encode(instr: Instruction) -> bytes:
+    """Encode one instruction to bytes.
+
+    Raises :class:`EncodingError` if an operand does not fit its field.
+    """
+    out = bytearray([int(instr.op)])
+    for kind, value in zip(instr.spec.operands, instr.operands):
+        if kind is OperandKind.REG:
+            if not 0 <= value < NUM_REGS:
+                raise EncodingError(f"bad register number {value}")
+            out.append(value)
+        elif kind is OperandKind.IMM8:
+            if not 0 <= value < 256:
+                raise EncodingError(f"imm8 out of range: {value}")
+            out.append(value)
+        elif kind in (OperandKind.IMM32, OperandKind.REL32):
+            if not -(1 << 31) <= value < (1 << 32):
+                raise EncodingError(f"imm32 out of range: {value}")
+            out += _U32.pack(value & _MASK32)
+        elif kind is OperandKind.IMM64:
+            if not -(1 << 63) <= value < (1 << 64):
+                raise EncodingError(f"imm64 out of range: {value}")
+            out += _U64.pack(value & _MASK64)
+        else:  # pragma: no cover - exhaustive over OperandKind
+            raise EncodingError(f"unknown operand kind {kind}")
+    return bytes(out)
+
+
+def encode_all(instrs: List[Instruction]) -> bytes:
+    """Encode a sequence of instructions to a contiguous byte string."""
+    return b"".join(encode(i) for i in instrs)
+
+
+def decode(code: bytes, offset: int = 0) -> Tuple[Instruction, int]:
+    """Decode one instruction at ``offset`` in ``code``.
+
+    Returns ``(instruction, length)``.  Raises :class:`EncodingError` if
+    the bytes at ``offset`` are not a valid instruction (bad opcode, bad
+    register byte, or truncated operands).
+    """
+    if offset >= len(code):
+        raise EncodingError("decode past end of code")
+    opcode = code[offset]
+    if opcode not in _OPCODE_VALUES:
+        raise EncodingError(f"invalid opcode byte {opcode:#04x}")
+    op = Op(opcode)
+    spec = SPECS[op]
+    pos = offset + 1
+    operands = []
+    for kind in spec.operands:
+        if kind is OperandKind.REG:
+            if pos + 1 > len(code):
+                raise EncodingError("truncated instruction")
+            value = code[pos]
+            if value >= NUM_REGS:
+                raise EncodingError(f"bad register byte {value:#04x}")
+            pos += 1
+        elif kind is OperandKind.IMM8:
+            if pos + 1 > len(code):
+                raise EncodingError("truncated instruction")
+            value = code[pos]
+            pos += 1
+        elif kind in (OperandKind.IMM32, OperandKind.REL32):
+            if pos + 4 > len(code):
+                raise EncodingError("truncated instruction")
+            value = _sign_extend(_U32.unpack_from(code, pos)[0], 32)
+            pos += 4
+        elif kind is OperandKind.IMM64:
+            if pos + 8 > len(code):
+                raise EncodingError("truncated instruction")
+            value = _sign_extend(_U64.unpack_from(code, pos)[0], 64)
+            pos += 8
+        else:  # pragma: no cover - exhaustive over OperandKind
+            raise EncodingError(f"unknown operand kind {kind}")
+        operands.append(value)
+    return Instruction(op, tuple(operands)), pos - offset
+
+
+def decode_stream(code: bytes, offset: int = 0,
+                  limit: int | None = None) -> Iterator[Tuple[int, Instruction]]:
+    """Decode instructions sequentially starting at ``offset``.
+
+    Yields ``(offset, instruction)`` pairs.  Stops at ``limit`` (an offset
+    bound) or the end of ``code``; raises :class:`EncodingError` on the
+    first undecodable byte, as a linear-sweep disassembler would.
+    """
+    end = len(code) if limit is None else min(limit, len(code))
+    while offset < end:
+        instr, length = decode(code, offset)
+        yield offset, instr
+        offset += length

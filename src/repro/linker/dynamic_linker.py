@@ -1,0 +1,293 @@
+"""MCFI dynamic linker (paper Secs. 5.2 and 6, "Static and dynamic
+linking").
+
+Implements the paper's three-step dlopen protocol:
+
+1. **Module preparation** — load the library into unoccupied code/data
+   space with the code writable but *not* executable; resolve its
+   symbols; patch its Bary-index immediates (with freshly assigned
+   global site numbers); then seal the pages read-only + executable
+   (after optional verification).  The W^X invariant holds throughout.
+2. **New CFG generation** — merge the library's auxiliary information
+   into the program's, connect PLT entries "to functions with matching
+   names", and regenerate the CFG/ECN assignment.
+3. **ID table updates** — run an update transaction that installs the
+   new IDs and rewrites the GOT entries, while other threads continue
+   to execute check transactions.
+
+In single-threaded mode the update transaction is drained inline; in
+scheduled (multithreaded) mode it runs as a scheduler task concurrent
+with all other threads, and the calling thread blocks until the update
+completes — which is exactly the scenario the transaction design
+exists for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cfg.generator import Cfg, generate_cfg
+from repro.core.instrument import instrument_items
+from repro.core.transactions import UpdateTransaction
+from repro.errors import LinkError, RuntimeError_
+from repro.isa.assembler import assemble
+from repro.linker.static_linker import build_data_image, layout_data
+from repro.mir.codegen import RawModule
+from repro.module.auxinfo import AuxInfo, FunctionAux, merge_aux
+from repro.module.module import McfiModule, build_module
+from repro.vm.cpu import CPU
+from repro.vm.memory import CODE_LIMIT, DATA_LIMIT, PAGE_SIZE
+from repro.vm.scheduler import GeneratorTask
+
+
+@dataclass
+class LoadedLibrary:
+    handle: int
+    name: str
+    module: McfiModule
+    data_base: int
+    exports: Dict[str, int] = field(default_factory=dict)
+    taken_names: set = field(default_factory=set)
+
+
+class DynamicLinker:
+    """Loads registered libraries into a running :class:`Runtime`."""
+
+    def __init__(self, runtime, verify: bool = False) -> None:
+        self.runtime = runtime
+        self.verify = verify
+        self.registry: Dict[str, RawModule] = {}
+        self.loaded: Dict[int, LoadedLibrary] = {}
+        self._by_name: Dict[str, int] = {}
+        self._next_handle = 1
+        program = runtime.program
+        self._code_cursor = _page_up(program.module.limit)
+        self._data_cursor = _page_up(program.data.base + program.data.size
+                                     + 0x100000)  # leave heap headroom
+        self._next_site = len(program.module.aux.branch_sites)
+        self._base_aux: AuxInfo = program.module.aux
+        self._merged_aux: AuxInfo = program.module.aux
+        runtime.dynamic_linker = self
+
+    def register(self, name: str, raw: RawModule) -> None:
+        """Make a compiled library available to dlopen by name."""
+        if raw.arch != self.runtime.program.arch:
+            raise LinkError(f"library {name!r} has the wrong architecture")
+        self.registry[name] = raw
+
+    # -- dlopen -----------------------------------------------------------------
+
+    def dlopen(self, name: str, cpu: Optional[CPU] = None) -> int:
+        if name in self._by_name:
+            return self._by_name[name]
+        raw = self.registry.get(name)
+        if raw is None:
+            return 0
+
+        library = self._prepare_module(raw)
+        library.taken_names = set(raw.taken_names)
+        handle = self._next_handle
+        self._next_handle += 1
+        library.handle = handle
+        self.loaded[handle] = library
+        self._by_name[name] = handle
+
+        self._republish(cpu, result_for_cpu=handle)
+        return handle
+
+    def dlclose(self, handle: int, cpu: Optional[CPU] = None) -> int:
+        """Unload a library: regenerate the CFG without it and publish
+        the shrunk policy with an update transaction.
+
+        The update zeroes the library's Tary entries and Bary sites and
+        resets GOT entries it resolved, so any dangling pointer into the
+        unloaded code halts fail-safe; the code pages are then sealed
+        non-executable.  (The paper covers loading only; unloading is
+        the symmetric extension.)
+        """
+        library = self.loaded.pop(handle, None)
+        if library is None:
+            return -1
+        self._by_name.pop(library.name, None)
+        self._republish(cpu, result_for_cpu=0,
+                        after=lambda: self._seal_unloaded(library))
+        return 0
+
+    def _seal_unloaded(self, library: LoadedLibrary) -> None:
+        module = library.module
+        self.runtime.memory.protect(module.base, len(module.code),
+                                    readable=True, writable=False,
+                                    executable=False)
+        for address in list(self.runtime.icache):
+            if module.base <= address < module.limit:
+                del self.runtime.icache[address]
+
+    def _rebuild_merged(self) -> AuxInfo:
+        parts = [self._strip(self._base_aux)]
+        parts += [library.module.aux for library in self.loaded.values()]
+        merged = merge_aux(parts)
+        # dlsym-reachable library exports are conservatively
+        # address-taken, and libraries may take addresses of the
+        # program's functions.
+        newly_taken = set()
+        for library in self.loaded.values():
+            newly_taken |= {fname for fname in library.module.aux.functions
+                            if merged.functions[fname].exported}
+            newly_taken |= library.taken_names & set(merged.functions)
+        for fname in newly_taken:
+            func = merged.functions[fname]
+            if not func.address_taken:
+                merged.functions[fname] = FunctionAux(
+                    name=func.name, sig=func.sig, entry=func.entry,
+                    address_taken=True, exported=func.exported,
+                    module=func.module)
+        return merged
+
+    def _republish(self, cpu: Optional[CPU], result_for_cpu: int,
+                   after=None) -> None:
+        """Regenerate the CFG over the current module set and install
+        it (with GOT adjustments) via an update transaction."""
+        new_aux = self._rebuild_merged()
+        plt_resolution = self._resolve_plt(new_aux)
+        got_updates = self._got_updates(plt_resolution)
+        # Reset GOT slots whose symbols are no longer resolved.
+        for symbol, slot in self.runtime.program.got_slots.items():
+            if symbol not in plt_resolution:
+                got_updates.append((slot, 0))
+        cfg = generate_cfg(new_aux, plt_resolution=plt_resolution)
+        transaction = UpdateTransaction(
+            self.runtime.id_tables, self.runtime.update_lock,
+            new_tary=cfg.tary_ecns, new_bary=cfg.bary_ecns,
+            got_writer=self._write_got, got_updates=got_updates)
+        self._merged_aux = new_aux
+        self.runtime.cfg = cfg
+        self._run_update(transaction, cpu, result_for_cpu, after=after)
+
+    def dlsym(self, handle: int, symbol: str) -> int:
+        library = self.loaded.get(handle)
+        if library is None:
+            return 0
+        return library.exports.get(symbol, 0)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _prepare_module(self, raw: RawModule) -> LoadedLibrary:
+        runtime = self.runtime
+
+        # Resolve imports against the program and previously loaded libs.
+        known = dict(runtime.program.labels)
+        for lib in self.loaded.values():
+            known.update(lib.module.labels)
+        missing = [imp for imp in raw.imports if imp not in known]
+        if missing:
+            raise LinkError(
+                f"{raw.name}: unresolved imports {', '.join(missing)}")
+
+        layout = layout_data([raw], base=self._data_cursor)
+        asm = instrument_items(raw)
+        extern = dict(known)
+        extern.update(layout.symbols)
+        assembled = assemble(asm.items, base=self._code_cursor,
+                             extern=extern)
+        module = build_module(raw, asm, assembled,
+                              site_base=self._next_site)
+        self._next_site += len(asm.sites)
+        if module.limit > CODE_LIMIT:
+            raise RuntimeError_("code region exhausted by dlopen")
+        if layout.base + layout.size > DATA_LIMIT:
+            raise RuntimeError_("data region exhausted by dlopen")
+
+        if self.verify:
+            from repro.core.verifier import verify_module
+            verify_module(module)
+
+        # Step 1: writable but not executable while loading + patching.
+        code = bytearray(module.code)
+        for site, offset in module.bary_slots.items():
+            code[offset:offset + 4] = (4 * site).to_bytes(4, "little")
+        memory = runtime.memory
+        memory.map(module.base, len(code), readable=True, writable=True)
+        memory.host_write(module.base, bytes(code))
+        # Seal: executable but not writable.
+        memory.protect(module.base, len(code), readable=True,
+                       writable=False, executable=True)
+        self._code_cursor = _page_up(module.limit)
+
+        layout.image = build_data_image([raw], layout, assembled.labels)
+        memory.map(layout.base, max(layout.size, PAGE_SIZE), readable=True,
+                   writable=True)
+        if layout.image:
+            memory.host_write(layout.base, layout.image)
+        if layout.rodata_end:
+            memory.protect(layout.base, layout.rodata_end, readable=True,
+                           writable=False)
+        self._data_cursor = _page_up(layout.base + layout.size)
+
+        return LoadedLibrary(handle=0, name=raw.name, module=module,
+                             data_base=layout.base,
+                             exports=dict(module.aux.exports))
+
+    def _resolve_plt(self, aux: AuxInfo) -> Dict[str, int]:
+        resolution: Dict[str, int] = {}
+        for site in aux.branch_sites:
+            if site.kind == "plt" and site.plt_symbol in aux.functions:
+                resolution[site.plt_symbol] = \
+                    aux.functions[site.plt_symbol].entry
+        return resolution
+
+    def _got_updates(self, plt_resolution: Dict[str, int]):
+        got_slots = self.runtime.program.got_slots
+        return [(got_slots[sym], address)
+                for sym, address in plt_resolution.items()
+                if sym in got_slots]
+
+    def _write_got(self, address: int, value: int) -> None:
+        self.runtime.memory.host_write(
+            address, value.to_bytes(8, "little"))
+
+    def _run_update(self, transaction: UpdateTransaction,
+                    cpu: Optional[CPU], result: int,
+                    after=None) -> None:
+        runtime = self.runtime
+        scheduler = runtime._scheduler
+        if scheduler is None:
+            for _ in transaction.run():
+                pass
+            if after is not None:
+                after()
+            return
+        # Concurrent mode: the calling thread blocks; every other thread
+        # keeps running check transactions against the tables mid-update.
+        task = runtime._tasks_by_cpu.get(id(cpu)) if cpu is not None else None
+        if task is not None:
+            task.waiting = True
+
+        def update_then_wake():
+            yield from transaction.run()
+            if after is not None:
+                after()
+            if task is not None:
+                if cpu is not None:
+                    cpu.regs[0] = result  # RAX: the syscall's return value
+                task.waiting = False
+
+        scheduler.add(GeneratorTask(update_then_wake(), name="dlupdate"))
+
+    @staticmethod
+    def _strip(aux: AuxInfo) -> AuxInfo:
+        """Shallow copy so merge does not mutate the previous aux."""
+        clone = AuxInfo()
+        clone.functions = dict(aux.functions)
+        clone.retsites = list(aux.retsites)
+        clone.branch_sites = list(aux.branch_sites)
+        clone.setjmp_resumes = list(aux.setjmp_resumes)
+        clone.direct_calls = list(aux.direct_calls)
+        clone.data_ranges = list(aux.data_ranges)
+        clone.exports = dict(aux.exports)
+        clone.imports = list(aux.imports)
+        return clone
+
+
+def _page_up(address: int) -> int:
+    return (address + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)

@@ -1,0 +1,92 @@
+"""Richer CFG statistics beyond Table 3's three columns.
+
+The paper argues precision through equivalence-class counts; these
+helpers expose the underlying distributions — per-branch-kind counts,
+target-set-size percentiles, class-size histograms — used by the
+ablation benchmark and by anyone evaluating a different CFG-generation
+policy on the same modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.cfg.generator import Cfg
+from repro.module.auxinfo import AuxInfo
+
+
+@dataclass
+class CfgProfile:
+    """Distributional statistics of one generated CFG."""
+
+    ibs: int
+    ibts: int
+    eqcs: int
+    branches_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: per-kind mean resolved-target-set size
+    mean_targets_by_kind: Dict[str, float] = field(default_factory=dict)
+    #: (min, median, max) over all non-empty target sets
+    target_set_spread: Tuple[int, int, int] = (0, 0, 0)
+    #: (min, median, max) over equivalence-class sizes
+    class_size_spread: Tuple[int, int, int] = (0, 0, 0)
+    empty_target_branches: int = 0
+
+    def rows(self) -> List[Tuple[str, object]]:
+        out: List[Tuple[str, object]] = [
+            ("IBs", self.ibs), ("IBTs", self.ibts), ("EQCs", self.eqcs),
+            ("empty-target branches", self.empty_target_branches),
+            ("target-set min/med/max", self.target_set_spread),
+            ("class-size min/med/max", self.class_size_spread),
+        ]
+        for kind in sorted(self.branches_by_kind):
+            out.append((f"{kind} branches", self.branches_by_kind[kind]))
+            out.append((f"{kind} mean |T|",
+                        round(self.mean_targets_by_kind[kind], 2)))
+        return out
+
+
+def _spread(values: List[int]) -> Tuple[int, int, int]:
+    if not values:
+        return (0, 0, 0)
+    ordered = sorted(values)
+    return (ordered[0], ordered[len(ordered) // 2], ordered[-1])
+
+
+def profile(aux: AuxInfo, cfg: Cfg) -> CfgProfile:
+    """Compute the full distributional profile of a generated CFG."""
+    stats = cfg.stats()
+    by_kind: Dict[str, List[int]] = {}
+    empty = 0
+    for site in aux.branch_sites:
+        size = len(cfg.branch_targets.get(site.site, ()))
+        by_kind.setdefault(site.kind, []).append(size)
+        if size == 0:
+            empty += 1
+    class_sizes: Dict[int, int] = {}
+    for ecn in cfg.tary_ecns.values():
+        class_sizes[ecn] = class_sizes.get(ecn, 0) + 1
+    nonempty_sets = [len(targets)
+                     for targets in cfg.branch_targets.values() if targets]
+    return CfgProfile(
+        ibs=stats["IBs"], ibts=stats["IBTs"], eqcs=stats["EQCs"],
+        branches_by_kind={kind: len(sizes)
+                          for kind, sizes in by_kind.items()},
+        mean_targets_by_kind={
+            kind: (sum(sizes) / len(sizes) if sizes else 0.0)
+            for kind, sizes in by_kind.items()},
+        target_set_spread=_spread(nonempty_sets),
+        class_size_spread=_spread(list(class_sizes.values())),
+        empty_target_branches=empty)
+
+
+def compare(profiles: Dict[str, CfgProfile]) -> str:
+    """Side-by-side text table over named profiles."""
+    names = list(profiles)
+    lines = [f"{'metric':28s} " + " ".join(f"{n:>12s}" for n in names)]
+    keys = ["IBs", "IBTs", "EQCs", "empty-target branches"]
+    rows = {name: dict(p.rows()) for name, p in profiles.items()}
+    for key in keys:
+        cells = " ".join(f"{rows[n].get(key, ''):>12}" for n in names)
+        lines.append(f"{key:28s} {cells}")
+    return "\n".join(lines)

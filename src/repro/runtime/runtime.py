@@ -1,0 +1,340 @@
+"""The trusted MCFI runtime (paper Secs. 4 and 7).
+
+Responsibilities, mirroring the paper's runtime:
+
+* **Loading** — map the code region readable+executable (never
+  writable), the data region readable+writable (strings read-only),
+  enforce the W^X invariant, and patch every branch site's ``tload``
+  immediate with its Bary table index before the code becomes
+  executable.
+* **CFG installation** — invoke the CFG generator on the program's
+  merged auxiliary information and install the resulting ECNs into the
+  ID tables (initial load is non-transactional: no threads run yet).
+* **Syscall interposition** — programs never reach the host directly;
+  every service checks its arguments (``mprotect`` cannot create
+  writable+executable pages, ``write`` must reference readable memory).
+* **Dynamic linking** — see :mod:`repro.linker.dynamic_linker`; the
+  runtime provides the table-update machinery it drives.
+
+Execution drivers:
+
+* :meth:`Runtime.run` — fast single-threaded loop (Fig. 5 runs);
+* :meth:`Runtime.run_scheduled` — interleaved multithreaded execution
+  with optional extra tasks (Fig. 6's updater, attackers, dlopen).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cfg.generator import Cfg, generate_cfg
+from repro.core.tables import IdTables
+from repro.core.transactions import UpdateLock
+from repro.errors import (
+    CfiViolation,
+    MemoryFault,
+    RuntimeError_,
+    VMError,
+    WxViolation,
+)
+from repro.linker.static_linker import LinkedProgram
+from repro.vm.cpu import CPU, ProgramExit, ThreadExit
+from repro.vm.memory import (
+    CODE_LIMIT,
+    DATA_LIMIT,
+    Memory,
+    PAGE_SIZE,
+    STACK_BASE,
+    STACK_LIMIT,
+    TableMemory,
+)
+from repro.vm.scheduler import CpuTask, Outcome, Scheduler
+from repro.vm import syscalls as sc
+
+_STACK_SLOT = 0x40000  # 256 KiB of stack per thread
+
+
+@dataclass
+class RunResult:
+    """Outcome of one program execution."""
+
+    exit_code: Optional[int] = None
+    output: bytes = b""
+    cycles: int = 0
+    instructions: int = 0
+    violation: Optional[CfiViolation] = None
+    fault: Optional[Exception] = None
+    check_retries: int = 0
+    updates: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None and self.fault is None
+
+
+class _BlockableCpuTask(CpuTask):
+    """A CPU task that can wait for a runtime operation (e.g. dlopen)."""
+
+    def __init__(self, cpu: CPU, name: str, burst: int = 1) -> None:
+        super().__init__(cpu, name=name, burst=burst)
+        self.waiting = False
+
+    def step(self) -> None:
+        if self.waiting:
+            return
+        super().step()
+
+
+class Runtime:
+    """Loads and executes one linked program."""
+
+    def __init__(self, program: LinkedProgram, verify: bool = False,
+                 bary_entries: int = 65536) -> None:
+        self.program = program
+        self.enforce = program.mcfi
+        self.memory = Memory()
+        self.tables = TableMemory(bary_entries=bary_entries)
+        self.id_tables = IdTables(self.tables)
+        self.update_lock = UpdateLock()
+        self.icache: Dict[int, tuple] = {}
+        self.output = bytearray()
+        self.cfg: Optional[Cfg] = None
+        self.cpus: List[CPU] = []
+        self._next_stack = STACK_LIMIT
+        self._scheduler: Optional[Scheduler] = None
+        self._tasks_by_cpu: Dict[int, _BlockableCpuTask] = {}
+        self.loaded_libraries: Dict[str, object] = {}
+        self.dynamic_linker = None  # attached by repro.linker.dynamic_linker
+        self.jit_engine = None      # attached by repro.runtime.jit
+        self._load(verify=verify)
+
+    # -- loading ----------------------------------------------------------------
+
+    def _load(self, verify: bool) -> None:
+        program = self.program
+        module = program.module
+        if module.limit > CODE_LIMIT:
+            raise RuntimeError_("program exceeds the code region")
+
+        if verify and self.enforce:
+            from repro.core.verifier import verify_module
+            verify_module(module)
+
+        code = bytearray(module.code)
+        if self.enforce:
+            for site, offset in module.bary_slots.items():
+                code[offset:offset + 4] = (4 * site).to_bytes(4, "little")
+
+        # W^X: code pages are mapped writable only while the (trusted)
+        # loader populates them, then sealed to R+X.
+        self.memory.map(module.base, len(code), readable=True,
+                        writable=True)
+        self.memory.host_write(module.base, bytes(code))
+        self.memory.protect(module.base, len(code), readable=True,
+                            writable=False, executable=True)
+
+        data = program.data
+        if data.base + data.size > DATA_LIMIT:
+            raise RuntimeError_("program data exceeds the data region")
+        heap_limit = DATA_LIMIT
+        self.memory.map(data.base, heap_limit - data.base, readable=True,
+                        writable=True)
+        if data.image:
+            self.memory.host_write(data.base, data.image)
+        if data.rodata_end:
+            self.memory.protect(data.base, data.rodata_end, readable=True,
+                                writable=False)
+        self.brk = program.heap_base
+
+        self.memory.map(STACK_BASE, STACK_LIMIT - STACK_BASE, readable=True,
+                        writable=True)
+
+        if self.enforce:
+            self.cfg = generate_cfg(module.aux)
+            self.id_tables.install(self.cfg.tary_ecns, self.cfg.bary_ecns)
+
+    # -- thread management ---------------------------------------------------------
+
+    def new_cpu(self, entry: int, args: Optional[List[int]] = None) -> CPU:
+        cpu = CPU(self.memory, self.tables, syscall_handler=self.syscall,
+                  icache=self.icache, thread_id=len(self.cpus))
+        cpu.rip = entry
+        self._next_stack -= _STACK_SLOT
+        if self._next_stack < STACK_BASE:
+            raise RuntimeError_("out of stack space for new thread")
+        stack_top = self._next_stack + _STACK_SLOT - 16
+        self.memory.write_u64(stack_top, 0)  # poisoned return address
+        cpu.regs[4] = stack_top  # RSP
+        from repro.isa.registers import ARG_REGS
+        for reg, value in zip(ARG_REGS, args or []):
+            cpu.regs[reg] = value
+        self.cpus.append(cpu)
+        return cpu
+
+    def main_cpu(self) -> CPU:
+        if not self.cpus:
+            self.new_cpu(self.program.entry)
+        return self.cpus[0]
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(self, max_steps: int = 200_000_000) -> RunResult:
+        """Single-threaded fast path."""
+        cpu = self.main_cpu()
+        result = RunResult()
+        try:
+            result.exit_code = cpu.run(max_steps=max_steps)
+        except CfiViolation as violation:
+            result.violation = violation
+        except (MemoryFault, VMError, RuntimeError_) as fault:
+            result.fault = fault
+        result.output = bytes(self.output)
+        result.cycles = cpu.cycles
+        result.instructions = cpu.instructions
+        return result
+
+    def run_scheduled(self, seed: int = 0, burst: int = 1,
+                      max_ticks: int = 50_000_000,
+                      extra_tasks: Optional[List] = None) -> RunResult:
+        """Interleaved execution of all threads plus runtime tasks."""
+        scheduler = Scheduler(seed=seed)
+        self._scheduler = scheduler
+        cpu = self.main_cpu()
+        task = _BlockableCpuTask(cpu, name="main", burst=burst)
+        scheduler.add(task)
+        self._tasks_by_cpu[id(cpu)] = task
+        for extra in extra_tasks or []:
+            scheduler.add(extra)
+        outcome: Outcome = scheduler.run(max_ticks=max_ticks)
+        result = RunResult(
+            exit_code=outcome.exit_code, violation=outcome.violation,
+            fault=outcome.fault, output=bytes(self.output),
+            cycles=sum(c.cycles for c in self.cpus),
+            instructions=sum(c.instructions for c in self.cpus))
+        return result
+
+    # -- syscall services --------------------------------------------------------------
+
+    def syscall(self, cpu: CPU) -> None:
+        # Every syscall is a quiescent point for this thread: it is not
+        # inside a check transaction, so the ABA update counter may be
+        # reset once all threads have quiesced (paper Sec. 5.2).
+        cpu.quiescent_epoch = self.id_tables.updates_since_reset
+        if self.id_tables.updates_since_reset and all(
+                getattr(c, "quiescent_epoch", -1) ==
+                self.id_tables.updates_since_reset for c in self.cpus):
+            self.id_tables.aba_reset()
+        number = cpu.regs[0]  # RAX
+        arg0 = cpu.regs[8]    # R8
+        arg1 = cpu.regs[9]    # R9
+        arg2 = cpu.regs[10]   # R10
+        if number == sc.SYS_EXIT:
+            raise ProgramExit(arg0 & 0xFF)
+        if number == sc.SYS_WRITE:
+            data = self.memory.read_bytes(arg1, arg2)
+            self.output += data
+            cpu.regs[0] = arg2
+            return
+        if number == sc.SYS_SBRK:
+            old = self.brk
+            new = old + _signed64(arg0)
+            if not self.program.data.base <= new <= DATA_LIMIT:
+                cpu.regs[0] = 0xFFFFFFFFFFFFFFFF  # -1: out of memory
+                return
+            self.brk = new
+            cpu.regs[0] = old
+            return
+        if number == sc.SYS_TIME:
+            cpu.regs[0] = cpu.cycles
+            return
+        if number == sc.SYS_THREAD_SPAWN:
+            cpu.regs[0] = self._spawn_thread(arg0, arg1)
+            return
+        if number == sc.SYS_THREAD_EXIT:
+            raise ThreadExit()
+        if number == sc.SYS_MPROTECT:
+            cpu.regs[0] = self._mprotect(arg0, arg1, arg2)
+            return
+        if number == sc.SYS_DLOPEN:
+            cpu.regs[0] = self._dlopen(cpu, arg0)
+            return
+        if number == sc.SYS_DLSYM:
+            cpu.regs[0] = self._dlsym(arg0, arg1)
+            return
+        if number == sc.SYS_YIELD:
+            cpu.regs[0] = 0
+            return
+        if number == sc.SYS_JIT:
+            from repro.runtime.jit import jit_compile_syscall
+            jit_compile_syscall(self, cpu)
+            return
+        if number == sc.SYS_DLCLOSE:
+            if self.dynamic_linker is None:
+                cpu.regs[0] = 0xFFFFFFFFFFFFFFFF
+                return
+            code = self.dynamic_linker.dlclose(arg0, cpu)
+            cpu.regs[0] = code & 0xFFFFFFFFFFFFFFFF
+            return
+        raise RuntimeError_(f"unknown syscall {number}")
+
+    def _spawn_thread(self, entry_fn: int, arg: int) -> int:
+        """Spawn a thread running libc's __thread_start(fn, arg)."""
+        if self._scheduler is None:
+            raise RuntimeError_(
+                "thread_spawn requires run_scheduled (multithreaded mode)")
+        start = self.program.labels.get("__thread_start")
+        if start is None:
+            raise RuntimeError_("program lacks __thread_start (link libc)")
+        cpu = self.new_cpu(start, args=[entry_fn, arg])
+        task = _BlockableCpuTask(cpu, name=f"thread{cpu.thread_id}",
+                                 burst=self._tasks_by_cpu[
+                                     id(self.cpus[0])].burst)
+        self._scheduler.add(task)
+        self._tasks_by_cpu[id(cpu)] = task
+        return cpu.thread_id
+
+    def _mprotect(self, address: int, size: int, prot: int) -> int:
+        """W^X-checked mprotect (the paper's syscall interposition)."""
+        writable = bool(prot & sc.PROT_WRITE)
+        executable = bool(prot & sc.PROT_EXEC)
+        if writable and executable:
+            raise WxViolation(
+                f"mprotect({address:#x}, {size:#x}): W+X mapping refused")
+        # Application code may not change code-region protections (only
+        # the trusted loader/dynamic linker does that, from the host side).
+        if address < CODE_LIMIT:
+            return 0xFFFFFFFFFFFFFFFF
+        # Nor may it make data pages executable.
+        if executable:
+            return 0xFFFFFFFFFFFFFFFF
+        try:
+            self.memory.protect(address, size, readable=bool(
+                prot & sc.PROT_READ), writable=writable,
+                executable=executable)
+        except MemoryFault:
+            return 0xFFFFFFFFFFFFFFFF
+        return 0
+
+    def _dlopen(self, cpu: CPU, path_ptr: int) -> int:
+        if self.dynamic_linker is None:
+            return 0
+        name = sc.read_cstring(self.memory, path_ptr).decode()
+        return self.dynamic_linker.dlopen(name, cpu)
+
+    def _dlsym(self, handle: int, name_ptr: int) -> int:
+        if self.dynamic_linker is None:
+            return 0
+        name = sc.read_cstring(self.memory, name_ptr).decode()
+        return self.dynamic_linker.dlsym(handle, name)
+
+    # -- table updates (used by the dynamic linker) ---------------------------------
+
+    def install_cfg(self, cfg: Cfg) -> None:
+        """Non-transactional install (single-threaded contexts only)."""
+        self.cfg = cfg
+        self.id_tables.install(cfg.tary_ecns, cfg.bary_ecns)
+
+
+def _signed64(value: int) -> int:
+    return value - (1 << 64) if value & (1 << 63) else value

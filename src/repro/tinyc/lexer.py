@@ -1,0 +1,189 @@
+"""TinyC lexer.
+
+Produces a flat token list.  TinyC is a C subset: no preprocessor
+(modules are standalone sources; shared declarations are injected by
+the driver), C89-style tokens plus ``//`` comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset("""
+    void char short int long unsigned signed double float
+    struct union enum typedef
+    if else while do for return break continue switch case default
+    sizeof static extern const volatile
+""".split())
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str        # 'ident' | 'keyword' | 'int' | 'float' | 'char' | 'str' | 'op' | 'eof'
+    text: str
+    line: int
+    column: int
+    value: object = None
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize TinyC source, raising :class:`LexError` on bad input."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+
+    def column() -> int:
+        return pos - line_start + 1
+
+    while pos < length:
+        char = source[pos]
+        if char == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if char in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise LexError("unterminated comment", line, column())
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if char.isalpha() or char == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum() or
+                                    source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column()))
+            continue
+        if char.isdigit() or (char == "." and pos + 1 < length
+                              and source[pos + 1].isdigit()):
+            start = pos
+            is_float = False
+            if source.startswith(("0x", "0X"), pos):
+                pos += 2
+                while pos < length and source[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+                digits_end = pos
+                while pos < length and source[pos] in "uUlL":
+                    pos += 1
+                text = source[start:digits_end]
+                tokens.append(Token("int", source[start:pos], line,
+                                    column(), value=int(text, 16)))
+                continue
+            while pos < length and source[pos].isdigit():
+                pos += 1
+            if pos < length and source[pos] == ".":
+                is_float = True
+                pos += 1
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+            if pos < length and source[pos] in "eE":
+                is_float = True
+                pos += 1
+                if pos < length and source[pos] in "+-":
+                    pos += 1
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+            while pos < length and source[pos] in "uUlLfF":
+                if source[pos] in "fF":
+                    is_float = True
+                pos += 1
+            text = source[start:pos]
+            stripped = text.rstrip("uUlLfF")
+            if is_float:
+                tokens.append(Token("float", text, line, column(),
+                                    value=float(stripped)))
+            else:
+                tokens.append(Token("int", text, line, column(),
+                                    value=int(stripped, 10)))
+            continue
+        if char == "'":
+            value, pos = _char_literal(source, pos, line, column())
+            tokens.append(Token("char", source[pos - 1], line, column(),
+                                value=value))
+            continue
+        if char == '"':
+            value, pos, line = _string_literal(source, pos, line, column())
+            tokens.append(Token("str", "<string>", line, column(),
+                                value=value))
+            continue
+        for operator in OPERATORS:
+            if source.startswith(operator, pos):
+                tokens.append(Token("op", operator, line, column()))
+                pos += len(operator)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", line, column())
+    tokens.append(Token("eof", "", line, 1))
+    return tokens
+
+
+def _char_literal(source: str, pos: int, line: int, col: int):
+    pos += 1  # opening quote
+    if pos >= len(source):
+        raise LexError("unterminated character literal", line, col)
+    if source[pos] == "\\":
+        pos += 1
+        escape = source[pos]
+        if escape not in _ESCAPES:
+            raise LexError(f"bad escape \\{escape}", line, col)
+        value = _ESCAPES[escape]
+        pos += 1
+    else:
+        value = ord(source[pos])
+        pos += 1
+    if pos >= len(source) or source[pos] != "'":
+        raise LexError("unterminated character literal", line, col)
+    return value, pos + 1
+
+
+def _string_literal(source: str, pos: int, line: int, col: int):
+    pos += 1  # opening quote
+    out = bytearray()
+    while pos < len(source):
+        char = source[pos]
+        if char == '"':
+            return bytes(out), pos + 1, line
+        if char == "\n":
+            raise LexError("newline in string literal", line, col)
+        if char == "\\":
+            pos += 1
+            escape = source[pos]
+            if escape not in _ESCAPES:
+                raise LexError(f"bad escape \\{escape}", line, col)
+            out.append(_ESCAPES[escape])
+            pos += 1
+            continue
+        out.append(ord(char))
+        pos += 1
+    raise LexError("unterminated string literal", line, col)

@@ -1,0 +1,1 @@
+"""Command-line tools for the MCFI toolchain (cc, objdump, analyze)."""

@@ -1,0 +1,103 @@
+"""``python -m repro.tools.objdump`` — inspect MCFI modules.
+
+Disassembles a compiled module or linked program, annotates function
+entries and indirect-branch sites, and dumps the auxiliary type
+information that makes the module linkable and verifiable.
+
+Examples::
+
+    python -m repro.tools.objdump mylib.mcfo
+    python -m repro.tools.objdump main.c --native      # baseline code
+    python -m repro.tools.objdump main.c --aux-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.errors import ReproError
+from repro.isa.disasm import format_instr, sweep_ranges
+from repro.linker.static_linker import link
+from repro.module import objectfile
+from repro.toolchain import compile_module
+from repro.workloads.libc import LIBC_SOURCE
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-objdump",
+        description="Disassemble and inspect MCFI modules")
+    parser.add_argument("input", type=Path,
+                        help="a TinyC source (.c) or object file (.mcfo)")
+    parser.add_argument("--arch", choices=("x32", "x64"), default="x64")
+    parser.add_argument("--native", action="store_true",
+                        help="show the uninstrumented baseline")
+    parser.add_argument("--aux-only", action="store_true",
+                        help="print only the auxiliary information")
+    parser.add_argument("--max-lines", type=int, default=200,
+                        help="cap on disassembly lines (0 = no cap)")
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.input.suffix == ".mcfo":
+            raw = objectfile.load(args.input)
+        else:
+            raw = compile_module(args.input.read_text(),
+                                 name=args.input.stem, arch=args.arch)
+        libc = compile_module(LIBC_SOURCE, name="libc", arch=args.arch)
+        program = link([raw, libc], mcfi=not args.native,
+                       entry_symbol="_start")
+        module = program.module
+        aux = module.aux
+
+        print(f"module {raw.name!r} linked with simlibc "
+              f"({'native' if args.native else 'MCFI'}, {args.arch})")
+        print(f"code {len(module.code)} bytes at {module.base:#x}; "
+              f"{len(aux.branch_sites)} indirect-branch sites")
+
+        print("\n-- functions " + "-" * 50)
+        for func in sorted(aux.functions.values(), key=lambda f: f.entry):
+            taken = " [address-taken]" if func.address_taken else ""
+            print(f"  {func.entry:#010x} {func.name:24s} "
+                  f"{func.sig.render()}{taken}")
+
+        print("\n-- indirect-branch sites " + "-" * 38)
+        for site in aux.branch_sites[:60]:
+            extra = site.sig.render() if site.sig else \
+                (site.plt_symbol or f"{len(site.targets)} targets")
+            print(f"  site {site.site:4d} {site.kind:8s} in "
+                  f"{site.fn or '<plt>':20s} {extra}")
+        if len(aux.branch_sites) > 60:
+            print(f"  ... {len(aux.branch_sites) - 60} more")
+
+        if args.aux_only:
+            return 0
+
+        labels = {addr: name for name, addr in module.labels.items()
+                  if not name.startswith("__mcfi")}
+        print("\n-- disassembly " + "-" * 48)
+        lines = 0
+        for decoded in sweep_ranges(module.code, module.base,
+                                    module.code_ranges):
+            if decoded.address in labels:
+                print(f"{labels[decoded.address]}:")
+            print("  " + format_instr(decoded, labels))
+            lines += 1
+            if args.max_lines and lines >= args.max_lines:
+                print(f"  ... (truncated at {args.max_lines} lines; "
+                      f"--max-lines 0 for all)")
+                break
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""``python -m repro.tools.spec`` — run the SPEC-shaped benchmark suite.
+
+The command-line face of :mod:`repro.experiments`: run any subset of
+the twelve workloads and print the paper's artifacts.
+
+Examples::
+
+    python -m repro.tools.spec fig5 --benchmarks gcc lbm
+    python -m repro.tools.spec table1
+    python -m repro.tools.spec table3 --arch x32 x64
+    python -m repro.tools.spec air stm gadgets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+import repro.experiments as ex
+from repro.workloads.spec import BENCHMARKS
+
+ARTIFACTS = ("fig5", "fig6", "table1", "table2", "table3", "stm", "air",
+             "gadgets", "space", "cfggen", "security")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spec",
+        description="Regenerate the paper's tables and figures")
+    parser.add_argument("artifacts", nargs="+", choices=ARTIFACTS,
+                        help="which artifacts to produce")
+    parser.add_argument("--benchmarks", nargs="+", default=None,
+                        choices=BENCHMARKS, metavar="NAME",
+                        help="benchmark subset (default: all twelve)")
+    parser.add_argument("--arch", nargs="+", default=["x64"],
+                        choices=("x32", "x64"))
+    return parser
+
+
+def _print_rows(title: str, rows: dict) -> None:
+    print(f"\n== {title} ==")
+    for key, value in rows.items():
+        print(f"  {key}: {value}")
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = args.benchmarks or list(BENCHMARKS)
+    for artifact in args.artifacts:
+        if artifact == "fig5":
+            results = ex.fig5_overhead(names, archs=tuple(args.arch))
+            print("\n== Fig. 5: execution overhead ==")
+            print(ex.format_fig5(results))
+        elif artifact == "fig6":
+            results = ex.fig6_update_overhead(names, arch=args.arch[0])
+            print("\n== Fig. 6: overhead under updates ==")
+            for name, result in results.items():
+                print(f"  {name:12s} {result.overhead_pct:6.2f}%  "
+                      f"({result.updates} updates)")
+        elif artifact == "table1":
+            reports = ex.table1_analysis(names)
+            print("\n== Table 1: C1 violations ==")
+            for name, report in reports.items():
+                print(f"  {name:12s} {report.table1_row()}")
+        elif artifact == "table2":
+            print("\n== Table 2: K1/K2 ==")
+            for name, row in ex.table2_analysis(names).items():
+                print(f"  {name:12s} {row}")
+        elif artifact == "table3":
+            stats = ex.table3_cfg_stats(names, archs=tuple(args.arch))
+            print("\n== Table 3: CFG statistics ==")
+            for (name, arch), row in stats.items():
+                print(f"  {name:12s} {arch}  {row}")
+        elif artifact == "stm":
+            _print_rows("STM micro-benchmark (normalized)",
+                        {k: round(v, 2)
+                         for k, v in ex.stm_micro().items()})
+        elif artifact == "air":
+            _print_rows("AIR comparison",
+                        {k: round(v, 5)
+                         for k, v in ex.air_comparison(names).items()})
+        elif artifact == "gadgets":
+            print("\n== gadget elimination ==")
+            for name, row in ex.gadget_elimination(names).items():
+                print(f"  {name:12s} {row['elimination_pct']:6.2f}% "
+                      f"({row['native_unique']} unique native gadgets)")
+        elif artifact == "space":
+            print("\n== space overhead ==")
+            for name, row in ex.space_overhead(names).items():
+                print(f"  {name:12s} +{row.code_increase_pct:5.2f}% code, "
+                      f"{row.tary_bytes}B Tary")
+        elif artifact == "cfggen":
+            _print_rows("CFG generation time (s)",
+                        {k: round(v, 4) for k, v in
+                         ex.cfg_generation_time(names).items()})
+        elif artifact == "security":
+            print("\n== security case studies ==")
+            for attack, outcomes in ex.security_case_study().items():
+                for scheme, (hijacked, blocked) in outcomes.items():
+                    print(f"  {attack:18s} {scheme:8s} "
+                          f"hijacked={hijacked} blocked={blocked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""The CFI concurrent-attacker model (Sec. 4, threat model).
+
+The attacker is "a separate thread running in parallel with user
+threads" that "can read and write any memory (subject to memory page
+protection)" but cannot directly modify another thread's registers.
+
+Attackers here are generator tasks for the scheduler: each ``yield``
+boundary is one atomic corruption, so the attacker can strike *between
+any two instructions* of the victim — exactly the paper's model.  The
+canned strategies below implement the classic control-flow hijacks the
+evaluation discusses: return-address smashing (ROP entry point) and
+function-pointer overwrites (return-to-libc / jump-to-execve).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, Optional, Tuple
+
+from repro.errors import MemoryFault
+from repro.vm.cpu import CPU
+from repro.vm.memory import Memory
+
+
+def write_word_attacker(memory: Memory, address: int, value: int,
+                        repeat: bool = True) -> Generator[None, None, None]:
+    """Persistently write ``value`` at ``address`` (one write per step).
+
+    With ``repeat`` the attacker keeps re-corrupting the slot, defeating
+    time-of-check-to-time-of-use defenses that re-read memory (this is
+    why MCFI's return instrumentation pops the address into a register
+    *before* checking, rather than checking the stack slot).
+    """
+    while True:
+        try:
+            memory.write_u64(address, value)
+        except MemoryFault:
+            pass  # page not (yet) writable; the attacker keeps trying
+        yield
+        if not repeat:
+            return
+
+
+def stack_smash_attacker(cpu: CPU, payload: int, depth_words: int = 8,
+                         ) -> Generator[None, None, None]:
+    """Overwrite return-address candidates near the victim's stack top.
+
+    Scans a small window above ``rsp`` each step and replaces every
+    word that looks like a code address with ``payload``.  This models
+    a stack-smashing write primitive racing the victim.
+    """
+    from repro.vm.memory import CODE_BASE, CODE_LIMIT
+
+    memory = cpu.memory
+    while True:
+        rsp = cpu.regs[4]  # Reg.RSP
+        for slot in range(depth_words):
+            address = rsp + 8 * slot
+            try:
+                word = memory.read_u64(address)
+            except MemoryFault:
+                continue
+            if CODE_BASE <= word < CODE_LIMIT:
+                try:
+                    memory.write_u64(address, payload)
+                except MemoryFault:
+                    pass
+        yield
+
+
+def conditional_attacker(memory: Memory,
+                         trigger: Callable[[], bool],
+                         writes: Iterable[Tuple[int, int]],
+                         ) -> Generator[None, None, None]:
+    """Wait for ``trigger()`` then perform ``(address, value)`` writes.
+
+    Useful for attacks that must fire in a specific program phase, e.g.
+    corrupting a function pointer after it has been initialized but
+    before it is called.
+    """
+    while not trigger():
+        yield
+    for address, value in writes:
+        try:
+            memory.write_u64(address, value)
+        except MemoryFault:
+            pass
+        yield
+
+
+def table_tamper_attacker(tables, forged_id: int,
+                          index: int) -> Generator[None, None, None]:
+    """Attempt to corrupt the ID tables directly.
+
+    The tables live outside the sandboxed address space, so application
+    threads (and therefore the in-sandbox attacker) have *no* store
+    instruction that can reach them; this attacker documents that fact
+    by raising if the tamper unexpectedly succeeds.  Used in negative
+    tests of the table-protection invariant.
+    """
+    before = tables.read_tary(index)
+    yield
+    after = tables.read_tary(index)
+    if after != before and after == forged_id:
+        raise AssertionError("ID table was corrupted from the sandbox")
+
+
+class AttackReport:
+    """Outcome summary used by the security benchmarks."""
+
+    def __init__(self, name: str, hijacked: bool, blocked: bool,
+                 detail: str = "") -> None:
+        self.name = name
+        self.hijacked = hijacked
+        self.blocked = blocked
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        status = "BLOCKED" if self.blocked else (
+            "HIJACKED" if self.hijacked else "NO-EFFECT")
+        return f"<AttackReport {self.name}: {status} {self.detail}>"

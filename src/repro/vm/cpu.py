@@ -1,0 +1,377 @@
+"""The SimVM CPU: a deterministic SimISA interpreter with a cycle model.
+
+Each :class:`CPU` is one hardware thread.  Threads share a
+:class:`~repro.vm.memory.Memory`, a
+:class:`~repro.vm.memory.TableMemory` and a decoded-instruction cache;
+each has its own registers, flags and stack.
+
+Determinism and atomicity
+-------------------------
+One ``step()`` executes exactly one instruction, and the scheduler
+interleaves whole steps, so every memory and table access is atomic at
+instruction granularity — the same atomicity the paper gets from 4-byte
+aligned ID loads/stores on x86.
+
+Flags
+-----
+Unlike x86, only the compare/test family sets flags (``cmp``, ``test``,
+``cmpw``, ``testb1``, ``fcmp``).  Generated code always pairs a compare
+with its conditional jump, so this deviation is unobservable.
+
+Cycle model
+-----------
+``cycles`` accumulates each instruction's static cost (see
+:data:`repro.isa.instructions.SPECS`).  Only *relative* cycle counts are
+meaningful; Fig. 5/6 overheads are ratios of instrumented to native
+cycles on identical inputs.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import (
+    CfiViolation,
+    EncodingError,
+    InvalidInstruction,
+    MemoryFault,
+    VMError,
+)
+from repro.isa.encoding import decode
+from repro.isa.instructions import MAX_INSTRUCTION_LENGTH, Op
+from repro.isa.registers import Reg
+from repro.vm.memory import Memory, PAGE_SIZE, TableMemory
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_MASK32 = 0xFFFFFFFF
+_SIGN64 = 1 << 63
+
+_PACK_D = struct.Struct("<d")
+_PACK_Q = struct.Struct("<Q")
+
+
+class ProgramExit(Exception):
+    """Raised by the exit syscall; carries the process exit code."""
+
+    def __init__(self, code: int) -> None:
+        self.code = code
+        super().__init__(f"program exited with code {code}")
+
+
+class ThreadExit(Exception):
+    """Raised by the thread-exit syscall; terminates one thread only."""
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & _SIGN64 else value
+
+
+def _float_of(bits: int) -> float:
+    return _PACK_D.unpack(_PACK_Q.pack(bits & _MASK64))[0]
+
+
+def _bits_of(value: float) -> int:
+    return _PACK_Q.unpack(_PACK_D.pack(value))[0]
+
+
+class CPU:
+    """One SimVM hardware thread."""
+
+    def __init__(self, memory: Memory, tables: TableMemory,
+                 syscall_handler: Optional[Callable[["CPU"], None]] = None,
+                 icache: Optional[Dict[int, Tuple[int, Tuple[int, ...], int, int]]] = None,
+                 thread_id: int = 0) -> None:
+        self.memory = memory
+        self.tables = tables
+        self.syscall_handler = syscall_handler
+        self.icache = icache if icache is not None else {}
+        self.thread_id = thread_id
+        self.regs = [0] * 16
+        self.rip = 0
+        self.zf = False
+        self.lt = False
+        self.ltu = False
+        self.cycles = 0
+        self.instructions = 0
+
+    # -- fetch --------------------------------------------------------------
+
+    def _fetch_decode(self, address: int) -> Tuple[int, Tuple[int, ...], int, int]:
+        window = bytearray()
+        cursor = address
+        while len(window) < MAX_INSTRUCTION_LENGTH:
+            if not self.memory.is_executable(cursor):
+                if not window:
+                    raise MemoryFault(address, "execute")
+                break
+            offset = cursor & (PAGE_SIZE - 1)
+            chunk = min(MAX_INSTRUCTION_LENGTH - len(window),
+                        PAGE_SIZE - offset)
+            window += self.memory.host_read(cursor, chunk)
+            cursor += chunk
+        try:
+            instr, length = decode(bytes(window))
+        except EncodingError as exc:
+            raise InvalidInstruction(
+                f"undecodable bytes at {address:#x}: {exc}") from exc
+        entry = (int(instr.op), instr.operands, length, instr.cost)
+        self.icache[address] = entry
+        return entry
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute exactly one instruction at ``rip``."""
+        rip = self.rip
+        entry = self.icache.get(rip)
+        if entry is None:
+            entry = self._fetch_decode(rip)
+        op, ops, length, cost = entry
+        self.cycles += cost
+        self.instructions += 1
+        regs = self.regs
+        next_rip = rip + length
+
+        if op == Op.MOV_RR:
+            regs[ops[0]] = regs[ops[1]]
+        elif op == Op.MOV_RI:
+            regs[ops[0]] = ops[1] & _MASK64
+        elif op == Op.LOAD64:
+            regs[ops[0]] = self.memory.read_u64(
+                (regs[ops[1]] + ops[2]) & _MASK64)
+        elif op == Op.STORE64:
+            self.memory.write_u64((regs[ops[0]] + ops[1]) & _MASK64,
+                                  regs[ops[2]])
+        elif op == Op.ADD_RR:
+            regs[ops[0]] = (regs[ops[0]] + regs[ops[1]]) & _MASK64
+        elif op == Op.ADD_RI:
+            regs[ops[0]] = (regs[ops[0]] + ops[1]) & _MASK64
+        elif op == Op.SUB_RR:
+            regs[ops[0]] = (regs[ops[0]] - regs[ops[1]]) & _MASK64
+        elif op == Op.SUB_RI:
+            regs[ops[0]] = (regs[ops[0]] - ops[1]) & _MASK64
+        elif op == Op.CMP_RR:
+            self._compare(regs[ops[0]], regs[ops[1]])
+        elif op == Op.CMP_RI:
+            self._compare(regs[ops[0]], ops[1] & _MASK64)
+        elif op == Op.JE:
+            if self.zf:
+                next_rip += ops[0]
+        elif op == Op.JNE:
+            if not self.zf:
+                next_rip += ops[0]
+        elif op == Op.JL:
+            if self.lt:
+                next_rip += ops[0]
+        elif op == Op.JLE:
+            if self.lt or self.zf:
+                next_rip += ops[0]
+        elif op == Op.JG:
+            if not (self.lt or self.zf):
+                next_rip += ops[0]
+        elif op == Op.JGE:
+            if not self.lt:
+                next_rip += ops[0]
+        elif op == Op.JB:
+            if self.ltu:
+                next_rip += ops[0]
+        elif op == Op.JAE:
+            if not self.ltu:
+                next_rip += ops[0]
+        elif op == Op.JMP:
+            next_rip += ops[0]
+        elif op == Op.PUSH:
+            rsp = (regs[Reg.RSP] - 8) & _MASK64
+            self.memory.write_u64(rsp, regs[ops[0]])
+            regs[Reg.RSP] = rsp
+        elif op == Op.POP:
+            rsp = regs[Reg.RSP]
+            regs[ops[0]] = self.memory.read_u64(rsp)
+            regs[Reg.RSP] = (rsp + 8) & _MASK64
+        elif op == Op.CALL:
+            rsp = (regs[Reg.RSP] - 8) & _MASK64
+            self.memory.write_u64(rsp, next_rip)
+            regs[Reg.RSP] = rsp
+            next_rip += ops[0]
+        elif op == Op.CALL_R:
+            rsp = (regs[Reg.RSP] - 8) & _MASK64
+            self.memory.write_u64(rsp, next_rip)
+            regs[Reg.RSP] = rsp
+            next_rip = regs[ops[0]]
+        elif op == Op.RET:
+            rsp = regs[Reg.RSP]
+            next_rip = self.memory.read_u64(rsp)
+            regs[Reg.RSP] = (rsp + 8) & _MASK64
+        elif op == Op.JMP_R:
+            next_rip = regs[ops[0]]
+        elif op == Op.TLOAD_RI:
+            regs[ops[0]] = self.tables.read_bary(ops[1])
+        elif op == Op.TLOAD_RR:
+            regs[ops[0]] = self.tables.read_tary(regs[ops[1]])
+        elif op == Op.MOVZX32:
+            regs[ops[0]] &= _MASK32
+        elif op == Op.TESTB1:
+            self.zf = (regs[ops[0]] & 1) == 0
+        elif op == Op.CMPW_RR:
+            self.zf = (regs[ops[0]] & 0xFFFF) == (regs[ops[1]] & 0xFFFF)
+        elif op == Op.LEA:
+            regs[ops[0]] = (regs[ops[1]] + ops[2]) & _MASK64
+        elif op == Op.LOAD8:
+            regs[ops[0]] = self.memory.read_u8(
+                (regs[ops[1]] + ops[2]) & _MASK64)
+        elif op == Op.LOAD32:
+            regs[ops[0]] = self.memory.read_u32(
+                (regs[ops[1]] + ops[2]) & _MASK64)
+        elif op == Op.STORE8:
+            self.memory.write_u8((regs[ops[0]] + ops[1]) & _MASK64,
+                                 regs[ops[2]])
+        elif op == Op.STORE32:
+            self.memory.write_u32((regs[ops[0]] + ops[1]) & _MASK64,
+                                  regs[ops[2]])
+        elif op == Op.LOAD16:
+            address = (regs[ops[1]] + ops[2]) & _MASK64
+            low = self.memory.read_u8(address)
+            high = self.memory.read_u8(address + 1)
+            regs[ops[0]] = low | (high << 8)
+        elif op == Op.STORE16:
+            address = (regs[ops[0]] + ops[1]) & _MASK64
+            value = regs[ops[2]]
+            self.memory.write_u8(address, value & 0xFF)
+            self.memory.write_u8(address + 1, (value >> 8) & 0xFF)
+        elif op == Op.SAR_RI:
+            regs[ops[0]] = (_signed(regs[ops[0]]) >> (ops[1] & 63)) & _MASK64
+        elif op == Op.SAR_RR:
+            regs[ops[0]] = (_signed(regs[ops[0]]) >>
+                            (regs[ops[1]] & 63)) & _MASK64
+        elif op == Op.IMUL_RR:
+            regs[ops[0]] = (_signed(regs[ops[0]]) *
+                            _signed(regs[ops[1]])) & _MASK64
+        elif op == Op.IDIV_RR:
+            regs[ops[0]] = self._divide(regs[ops[0]], regs[ops[1]], mod=False)
+        elif op == Op.IMOD_RR:
+            regs[ops[0]] = self._divide(regs[ops[0]], regs[ops[1]], mod=True)
+        elif op == Op.AND_RR:
+            regs[ops[0]] &= regs[ops[1]]
+        elif op == Op.AND_RI:
+            regs[ops[0]] &= ops[1] & _MASK64
+        elif op == Op.OR_RR:
+            regs[ops[0]] |= regs[ops[1]]
+        elif op == Op.OR_RI:
+            regs[ops[0]] = (regs[ops[0]] | ops[1]) & _MASK64
+        elif op == Op.XOR_RR:
+            regs[ops[0]] ^= regs[ops[1]]
+        elif op == Op.XOR_RI:
+            regs[ops[0]] = (regs[ops[0]] ^ ops[1]) & _MASK64
+        elif op == Op.SHL_RI:
+            regs[ops[0]] = (regs[ops[0]] << (ops[1] & 63)) & _MASK64
+        elif op == Op.SHR_RI:
+            regs[ops[0]] >>= (ops[1] & 63)
+        elif op == Op.SHL_RR:
+            regs[ops[0]] = (regs[ops[0]] << (regs[ops[1]] & 63)) & _MASK64
+        elif op == Op.SHR_RR:
+            regs[ops[0]] >>= (regs[ops[1]] & 63)
+        elif op == Op.NEG:
+            regs[ops[0]] = (-regs[ops[0]]) & _MASK64
+        elif op == Op.NOT:
+            regs[ops[0]] ^= _MASK64
+        elif op == Op.TEST_RR:
+            self.zf = (regs[ops[0]] & regs[ops[1]]) == 0
+        elif op == Op.TEST_RI:
+            self.zf = (regs[ops[0]] & ops[1] & _MASK64) == 0
+        elif op == Op.NOP:
+            pass
+        elif op == Op.HLT:
+            self._cfi_halt(rip)
+        elif op == Op.SYSCALL:
+            self.rip = next_rip  # handler may change rip (e.g. longjmp)
+            if self.syscall_handler is None:
+                raise VMError(f"syscall at {rip:#x} with no handler")
+            self.syscall_handler(self)
+            return
+        elif op == Op.FADD_RR:
+            regs[ops[0]] = _bits_of(_float_of(regs[ops[0]]) +
+                                    _float_of(regs[ops[1]]))
+        elif op == Op.FSUB_RR:
+            regs[ops[0]] = _bits_of(_float_of(regs[ops[0]]) -
+                                    _float_of(regs[ops[1]]))
+        elif op == Op.FMUL_RR:
+            regs[ops[0]] = _bits_of(_float_of(regs[ops[0]]) *
+                                    _float_of(regs[ops[1]]))
+        elif op == Op.FDIV_RR:
+            divisor = _float_of(regs[ops[1]])
+            if divisor == 0.0:
+                raise VMError(f"float division by zero at {rip:#x}")
+            regs[ops[0]] = _bits_of(_float_of(regs[ops[0]]) / divisor)
+        elif op == Op.FCMP_RR:
+            left = _float_of(regs[ops[0]])
+            right = _float_of(regs[ops[1]])
+            self.zf = left == right
+            self.lt = left < right
+            self.ltu = left < right
+        elif op == Op.CVTSI2F:
+            regs[ops[0]] = _bits_of(float(_signed(regs[ops[0]])))
+        elif op == Op.CVTF2SI:
+            regs[ops[0]] = int(_float_of(regs[ops[0]])) & _MASK64
+        else:  # pragma: no cover - SPECS and this chain are kept in sync
+            raise InvalidInstruction(f"unimplemented opcode {op:#x}")
+        self.rip = next_rip
+
+    def run(self, max_steps: int = 0) -> int:
+        """Run until the program exits; return its exit code.
+
+        ``max_steps`` of 0 means no limit.  A limit guards tests against
+        runaway programs (raises :class:`VMError` when exceeded).
+        CFI violations and memory faults propagate as exceptions.
+        """
+        executed = 0
+        step = self.step
+        try:
+            while True:
+                step()
+                executed += 1
+                if max_steps and executed >= max_steps:
+                    raise VMError(f"exceeded step limit of {max_steps}")
+        except ProgramExit as program_exit:
+            return program_exit.code
+
+    # -- helpers --------------------------------------------------------
+
+    def _compare(self, left: int, right: int) -> None:
+        self.zf = left == right
+        self.lt = _signed(left) < _signed(right)
+        self.ltu = left < right
+
+    @staticmethod
+    def _divide(dividend: int, divisor: int, mod: bool) -> int:
+        sd = _signed(dividend)
+        sr = _signed(divisor)
+        if sr == 0:
+            raise VMError("integer division by zero")
+        quotient = abs(sd) // abs(sr)
+        if (sd < 0) != (sr < 0):
+            quotient = -quotient
+        if mod:
+            return (sd - quotient * sr) & _MASK64
+        return quotient & _MASK64
+
+    def _cfi_halt(self, rip: int) -> None:
+        """Translate the check transaction's ``hlt`` into a CFI violation."""
+        target = self.regs[Reg.RCX]
+        target_id = self.regs[Reg.RSI]
+        if target_id & 1 == 0:
+            reason = ("invalid target ID: destination is not a permitted "
+                      "indirect-branch target (or is unaligned)")
+        else:
+            reason = "equivalence-class mismatch between branch and target"
+        raise CfiViolation(rip, target, reason)
+
+    def snapshot(self) -> dict:
+        """Return a debugging snapshot of the architectural state."""
+        return {
+            "rip": self.rip,
+            "regs": {str(Reg(i)): self.regs[i] for i in range(16)},
+            "flags": {"zf": self.zf, "lt": self.lt, "ltu": self.ltu},
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+        }

@@ -1,0 +1,317 @@
+"""simlibc: the reproduction's MUSL-libc stand-in, written in TinyC.
+
+The paper ports MUSL by replacing its syscall invocations with MCFI
+runtime API invocations and instrumenting it "in the same way as other
+program modules".  simlibc plays the same role: it is compiled as an
+ordinary separate MCFI module and linked (statically here; the dynamic
+examples load it as a DLL) with every workload.
+
+Like real libc it deliberately contains a few C1 violations — the
+function-pointer-through-integer casts in ``thread_spawn`` and users of
+``dlsym`` — which is exactly what the paper reports for MUSL (45
+violations, 5 of them K1).  See :mod:`repro.analysis` for how they are
+classified.
+
+It provides: program startup (``_start``), exit/write wrappers, a
+free-list ``malloc``/``free``/``calloc``/``realloc``, string and memory
+routines, formatted output helpers, a comparator-driven ``qsort`` (an
+address-taken-function consumer, like MUSL's), a tiny PRNG, soft float
+helpers, and the threading entry glue (``__thread_start``).
+"""
+
+LIBC_SOURCE = r"""
+int main(void);
+
+void exit(int code) {
+    __syscall(1, code, 0, 0);
+}
+
+void _start(void) {
+    int code = main();
+    exit(code);
+}
+
+long write(int fd, char *buf, long n) {
+    return __syscall(2, fd, (long)buf, n);
+}
+
+long time_now(void) {
+    return __syscall(4, 0, 0, 0);
+}
+
+void sched_yield(void) {
+    __syscall(11, 0, 0, 0);
+}
+
+/* ---------------- memory allocator (first-fit free list) -------------- */
+
+typedef struct Block {
+    unsigned long size;
+    struct Block *next;
+} Block;
+
+Block *__free_list = 0;
+
+void *malloc(unsigned long n) {
+    Block *prev = 0;
+    Block *cur = __free_list;
+    unsigned long need = (n + 23u) & ~7u;   /* header + alignment */
+    while (cur) {
+        if (cur->size >= need) {
+            if (prev) { prev->next = cur->next; }
+            else { __free_list = cur->next; }
+            return (void *)((char *)cur + 16);
+        }
+        prev = cur;
+        cur = cur->next;
+    }
+    {
+        long base = __syscall(3, (long)need, 0, 0);
+        Block *blk;
+        if (base == -1) { return 0; }
+        blk = (Block *)base;
+        blk->size = need;
+        blk->next = 0;
+        return (void *)((char *)blk + 16);
+    }
+}
+
+void free(void *p) {
+    Block *blk;
+    if (!p) { return; }
+    blk = (Block *)((char *)p - 16);
+    blk->next = __free_list;
+    __free_list = blk;
+}
+
+void *calloc(unsigned long n, unsigned long m) {
+    unsigned long total = n * m;
+    void *p = malloc(total);
+    if (p) { memset(p, 0, total); }
+    return p;
+}
+
+void *realloc(void *p, unsigned long n) {
+    void *fresh;
+    Block *blk;
+    if (!p) { return malloc(n); }
+    blk = (Block *)((char *)p - 16);
+    if (blk->size - 16 >= n) { return p; }
+    fresh = malloc(n);
+    if (fresh) {
+        memcpy(fresh, p, blk->size - 16);
+        free(p);
+    }
+    return fresh;
+}
+
+/* ---------------- string / memory ------------------------------------- */
+
+void *memcpy(void *d, void *s, unsigned long n) {
+    char *dst = (char *)d;
+    char *src = (char *)s;
+    unsigned long i;
+    for (i = 0; i < n; i++) { dst[i] = src[i]; }
+    return d;
+}
+
+void *memset(void *d, int c, unsigned long n) {
+    char *dst = (char *)d;
+    unsigned long i;
+    for (i = 0; i < n; i++) { dst[i] = (char)c; }
+    return d;
+}
+
+unsigned long strlen(char *s) {
+    unsigned long n = 0;
+    while (s[n]) { n++; }
+    return n;
+}
+
+int strcmp(char *a, char *b) {
+    unsigned long i = 0;
+    while (a[i] && b[i] && a[i] == b[i]) { i++; }
+    return (int)(unsigned char)a[i] - (int)(unsigned char)b[i];
+}
+
+char *strcpy(char *d, char *s) {
+    unsigned long i = 0;
+    while (s[i]) { d[i] = s[i]; i++; }
+    d[i] = 0;
+    return d;
+}
+
+int strncmp(char *a, char *b, unsigned long n) {
+    unsigned long i = 0;
+    if (n == 0) { return 0; }
+    while (i + 1 < n && a[i] && b[i] && a[i] == b[i]) { i++; }
+    return (int)(unsigned char)a[i] - (int)(unsigned char)b[i];
+}
+
+char *strchr(char *s, int c) {
+    unsigned long i = 0;
+    while (s[i]) {
+        if (s[i] == (char)c) { return s + i; }
+        i++;
+    }
+    if (c == 0) { return s + i; }
+    return 0;
+}
+
+int memcmp(void *a, void *b, unsigned long n) {
+    unsigned char *x = (unsigned char *)a;
+    unsigned char *y = (unsigned char *)b;
+    unsigned long i;
+    for (i = 0; i < n; i++) {
+        if (x[i] != y[i]) { return (int)x[i] - (int)y[i]; }
+    }
+    return 0;
+}
+
+long atoi_l(char *s) {
+    long value = 0;
+    long sign = 1;
+    unsigned long i = 0;
+    while (s[i] == ' ') { i++; }
+    if (s[i] == '-') { sign = -1; i++; }
+    else if (s[i] == '+') { i++; }
+    while (s[i] >= '0' && s[i] <= '9') {
+        value = value * 10 + (s[i] - '0');
+        i++;
+    }
+    return sign * value;
+}
+
+/* ---------------- formatted output ------------------------------------- */
+
+void print_char(int c) {
+    char buf[2];
+    buf[0] = (char)c;
+    buf[1] = 0;
+    write(1, buf, 1);
+}
+
+void print_str(char *s) {
+    write(1, s, (long)strlen(s));
+}
+
+void print_int(long v) {
+    char buf[24];
+    int i = 23;
+    int neg = 0;
+    buf[23] = 0;
+    if (v < 0) { neg = 1; v = -v; }
+    if (v == 0) { i--; buf[22] = '0'; }
+    while (v > 0) {
+        i--;
+        buf[i] = (char)('0' + (int)(v % 10));
+        v = v / 10;
+    }
+    if (neg) { i--; buf[i] = '-'; }
+    write(1, buf + i, (long)(23 - i));
+}
+
+/* ---------------- qsort with comparator fptr --------------------------- */
+
+void qsort_swap(char *a, char *b, unsigned long width) {
+    unsigned long i;
+    for (i = 0; i < width; i++) {
+        char t = a[i];
+        a[i] = b[i];
+        b[i] = t;
+    }
+}
+
+void qsort(void *base, unsigned long n, unsigned long width,
+           int (*cmp)(void *, void *)) {
+    unsigned long i;
+    unsigned long j;
+    char *arr = (char *)base;
+    if (n < 2) { return; }
+    for (i = 1; i < n; i++) {
+        j = i;
+        while (j > 0 && cmp((void *)(arr + (j - 1) * width),
+                            (void *)(arr + j * width)) > 0) {
+            qsort_swap(arr + (j - 1) * width, arr + j * width, width);
+            j--;
+        }
+    }
+}
+
+/* ---------------- integers / PRNG --------------------------------------- */
+
+long abs_long(long x) {
+    if (x < 0) { return -x; }
+    return x;
+}
+
+long __rand_state = 88172645463325252;
+
+void rand_seed(long s) {
+    if (s == 0) { s = 1; }
+    __rand_state = s;
+}
+
+long rand_next(void) {
+    long x = __rand_state;
+    x = x ^ (x << 13);
+    x = x ^ ((x >> 7) & 0x1ffffffffffffff);
+    x = x ^ (x << 17);
+    __rand_state = x;
+    return x & 0x7fffffffffffffff;
+}
+
+/* ---------------- soft floating point helpers --------------------------- */
+
+double fabs_d(double x) {
+    if (x < 0.0) { return 0.0 - x; }
+    return x;
+}
+
+double sqrt_d(double x) {
+    double guess;
+    int i;
+    if (x <= 0.0) { return 0.0; }
+    guess = x;
+    if (guess > 1.0) { guess = x / 2.0; }
+    for (i = 0; i < 24; i++) {
+        guess = (guess + x / guess) / 2.0;
+    }
+    return guess;
+}
+
+/* ---------------- threads ------------------------------------------------ */
+
+void __thread_start(void (*fn)(long), long arg) {
+    fn(arg);
+    thread_exit();
+}
+
+int thread_spawn(void (*fn)(long), long arg) {
+    /* C1 violation (K2-style): the function pointer rides through a
+       long, exactly like MUSL's clone() plumbing. */
+    return (int)__syscall(5, (long)fn, arg, 0);
+}
+
+void thread_exit(void) {
+    __syscall(6, 0, 0, 0);
+}
+
+/* ---------------- dynamic linking ---------------------------------------- */
+
+long dlopen(char *path) {
+    return __syscall(7, (long)path, 0, 0);
+}
+
+long dlsym(long handle, char *name) {
+    return __syscall(8, handle, (long)name, 0);
+}
+
+long jit_compile(char *src, char *name) {
+    return __syscall(12, (long)src, (long)name, 0);
+}
+
+long dlclose(long handle) {
+    return __syscall(13, handle, 0, 0);
+}
+"""

@@ -1,0 +1,89 @@
+"""Shared fixtures: compiled programs are expensive, so cache per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import compiled
+from repro.runtime.runtime import Runtime
+from repro.toolchain import compile_and_link, compile_module
+
+#: A small but feature-complete program used across runtime/verifier
+#: tests: function pointers, a dense switch, setjmp/longjmp, strings.
+DEMO_SOURCE = r"""
+typedef int (*binop)(int, int);
+
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int mul(int a, int b) { return a * b; }
+
+binop ops[3] = {add, sub, mul};
+
+int classify(int x) {
+    switch (x) {
+        case 0: return 10;
+        case 1: return 11;
+        case 2: return 12;
+        case 3: return 13;
+        default: return -1;
+    }
+}
+
+long jbuf[4];
+
+int main(void) {
+    int i;
+    int total = 0;
+    for (i = 0; i < 3; i++) {
+        total += ops[i](10, 3);
+    }
+    for (i = 0; i < 5; i++) {
+        total += classify(i);
+    }
+    i = setjmp(jbuf);
+    total += i;
+    if (i < 2) { longjmp(jbuf, i + 1); }
+    print_str("demo ");
+    print_int(total);
+    return total & 63;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def demo_program():
+    """The demo program, MCFI-instrumented and statically linked."""
+    return compile_and_link({"demo": DEMO_SOURCE}, mcfi=True)
+
+
+@pytest.fixture(scope="session")
+def demo_program_native():
+    return compile_and_link({"demo": DEMO_SOURCE}, mcfi=False)
+
+
+@pytest.fixture(scope="session")
+def demo_raw():
+    """The demo module before instrumentation (symbolic assembly)."""
+    return compile_module(DEMO_SOURCE, name="demo")
+
+
+@pytest.fixture()
+def demo_runtime(demo_program):
+    return Runtime(demo_program)
+
+
+def run_source(source: str, mcfi: bool = True, arch: str = "x64",
+               max_steps: int = 50_000_000):
+    """Compile and run a snippet; helper used throughout the tests."""
+    from repro.toolchain import compile_and_run
+    return compile_and_run({"t": source}, arch=arch, mcfi=mcfi,
+                           max_steps=max_steps)
+
+
+@pytest.fixture(scope="session")
+def bench_program():
+    """One real benchmark (libquantum: small) compiled both ways."""
+    return {
+        "mcfi": compiled("libquantum", "x64", True),
+        "native": compiled("libquantum", "x64", False),
+    }

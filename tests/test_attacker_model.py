@@ -1,0 +1,125 @@
+"""Tests for the concurrent-attacker primitives (paper Sec. 4 model)."""
+
+import pytest
+
+from repro.vm.attacker import (
+    AttackReport,
+    conditional_attacker,
+    table_tamper_attacker,
+    write_word_attacker,
+)
+from repro.vm.memory import Memory, PAGE_SIZE, TableMemory
+from repro.vm.scheduler import GeneratorTask, Scheduler
+
+
+@pytest.fixture()
+def memory():
+    mem = Memory()
+    mem.map(0x100000, PAGE_SIZE, readable=True, writable=True)
+    return mem
+
+
+class TestWriteWordAttacker:
+    def test_persistently_corrupts(self, memory):
+        attacker = write_word_attacker(memory, 0x100008, 0xBAD)
+        for _ in range(3):
+            next(attacker)
+            memory.write_u64(0x100008, 0)  # victim restores ...
+        next(attacker)                      # ... attacker strikes again
+        assert memory.read_u64(0x100008) == 0xBAD
+
+    def test_one_shot(self, memory):
+        attacker = write_word_attacker(memory, 0x100000, 7, repeat=False)
+        next(attacker)
+        with pytest.raises(StopIteration):
+            next(attacker)
+        assert memory.read_u64(0x100000) == 7
+
+    def test_survives_protected_pages(self):
+        mem = Memory()
+        mem.map(0x100000, PAGE_SIZE, readable=True, writable=False)
+        attacker = write_word_attacker(mem, 0x100000, 1)
+        next(attacker)  # must not raise: the attacker just fails
+        assert mem.read_u64(0x100000) == 0
+
+
+class TestConditionalAttacker:
+    def test_waits_for_trigger(self, memory):
+        armed = {"go": False}
+        attacker = conditional_attacker(
+            memory, lambda: armed["go"], [(0x100000, 1), (0x100008, 2)])
+        next(attacker)
+        next(attacker)
+        assert memory.read_u64(0x100000) == 0  # not yet
+        armed["go"] = True
+        next(attacker)
+        assert memory.read_u64(0x100000) == 1
+        next(attacker)
+        assert memory.read_u64(0x100008) == 2
+
+
+class TestTableTamper:
+    def test_tables_stay_intact(self):
+        """The in-sandbox attacker has no path to the table region:
+        it writes through Memory, which does not contain the tables."""
+        tables = TableMemory()
+        tables.write_tary(0, 0x11)
+        mem = Memory()
+        mem.map(0x100000, PAGE_SIZE, writable=True)
+        scheduler = Scheduler(seed=0)
+        scheduler.add(GeneratorTask(
+            table_tamper_attacker(tables, forged_id=0x99, index=0),
+            "tamper"))
+        scheduler.add(GeneratorTask(
+            write_word_attacker(mem, 0x100000, 0x99, repeat=False),
+            "writer"))
+        outcome = scheduler.run()
+        assert outcome.ok
+        assert tables.read_tary(0) == 0x11
+
+    def test_detects_hypothetical_corruption(self):
+        tables = TableMemory()
+        tables.write_tary(0, 0x11)
+        attacker = table_tamper_attacker(tables, forged_id=0x99, index=0)
+        next(attacker)
+        tables.write_tary(0, 0x99)  # simulate a (privileged) corruption
+        with pytest.raises(AssertionError):
+            next(attacker)
+
+
+class TestAttackReport:
+    def test_repr_states_outcome(self):
+        blocked = AttackReport("x", hijacked=False, blocked=True)
+        assert "BLOCKED" in repr(blocked)
+        owned = AttackReport("x", hijacked=True, blocked=False)
+        assert "HIJACKED" in repr(owned)
+        nothing = AttackReport("x", hijacked=False, blocked=False)
+        assert "NO-EFFECT" in repr(nothing)
+
+
+class TestErrorTypes:
+    """Exception metadata used by tooling and reports."""
+
+    def test_cfi_violation_fields(self):
+        from repro.errors import CfiViolation
+        err = CfiViolation(0x1000, 0x2000, "test reason")
+        assert err.branch_address == 0x1000
+        assert err.target_address == 0x2000
+        assert "0x1000" in str(err) and "test reason" in str(err)
+
+    def test_tinyc_errors_carry_position(self):
+        from repro.errors import ParseError
+        err = ParseError("bad token", 12, 3)
+        assert err.line == 12 and err.column == 3
+        assert str(err).startswith("12:3:")
+
+    def test_memory_fault_fields(self):
+        from repro.errors import MemoryFault
+        err = MemoryFault(0xFF, "write", "unmapped")
+        assert err.address == 0xFF and err.kind == "write"
+        assert "unmapped" in str(err)
+
+    def test_verification_error_address(self):
+        from repro.errors import VerificationError
+        err = VerificationError("bad branch", address=0x42)
+        assert err.address == 0x42 and "0x42" in str(err)

@@ -1,0 +1,267 @@
+"""Tests for type-matching CFG generation (paper Sec. 6)."""
+
+import pytest
+
+from repro.cfg.callgraph import build_call_graph
+from repro.cfg.eqclass import UnionFind
+from repro.cfg.generator import generate_cfg
+from repro.toolchain import compile_and_link
+
+
+def cfg_of(source, arch="x64"):
+    program = compile_and_link({"t": source}, arch=arch, mcfi=True)
+    return program, generate_cfg(program.module.aux)
+
+
+def sites_of(program, kind):
+    return [s for s in program.module.aux.branch_sites if s.kind == kind]
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        union = UnionFind()
+        union.union_all([1, 2, 3])
+        union.union_all([4, 5])
+        assert union.find(1) == union.find(3)
+        assert union.find(4) != union.find(1)
+        assert len(union) == 2
+
+    def test_overlapping_sets_merge(self):
+        union = UnionFind()
+        union.union_all([1, 2])
+        union.union_all([3, 4])
+        union.union_all([2, 3])  # bridges the two classes
+        assert len(union) == 1
+
+    def test_class_numbers_deterministic(self):
+        union = UnionFind()
+        union.union_all([30, 10])
+        union.union_all([20, 40])
+        numbering = union.class_numbers()
+        assert numbering[10] == numbering[30]
+        assert numbering[10] != numbering[20]
+        # class containing the smallest member gets the smallest number
+        assert numbering[10] == 0
+
+
+class TestTypeMatching:
+    SOURCE = """
+        typedef long (*unary)(long);
+        typedef long (*binary)(long, long);
+        long inc(long x) { return x + 1; }
+        long dec(long x) { return x - 1; }
+        long add(long a, long b) { return a + b; }
+        long local_only(long x) { return x; }   /* never address-taken */
+        unary u = inc;
+        binary b = add;
+        int main(void) {
+            u = dec;
+            print_int(u(1) + b(2, 3));
+            print_int(local_only(5));
+            return 0;
+        }
+    """
+
+    def test_icall_targets_match_signature(self):
+        program, cfg = cfg_of(self.SOURCE)
+        aux = program.module.aux
+        unary_sites = [s for s in sites_of(program, "icall")
+                       if s.sig.render() == "i64(i64)"]
+        assert unary_sites
+        targets = cfg.branch_targets[unary_sites[0].site]
+        entries = {aux.functions[n].entry for n in ("inc", "dec")}
+        assert entries <= targets
+        assert aux.functions["add"].entry not in targets
+        assert aux.functions["local_only"].entry not in targets
+
+    def test_not_address_taken_excluded(self):
+        program, cfg = cfg_of(self.SOURCE)
+        aux = program.module.aux
+        assert not aux.functions["local_only"].address_taken
+        all_targets = set()
+        for targets in cfg.branch_targets.values():
+            all_targets |= targets
+        assert aux.functions["local_only"].entry not in all_targets
+
+    def test_variadic_pointer_matches_prefix(self):
+        source = """
+            typedef int (*vfmt)(int, ...);
+            int handler_a(int x) { return x; }
+            int handler_b(int x, long y) { return x + (int)y; }
+            long handler_c(int x) { return x; }     /* wrong return */
+            vfmt f = handler_a;
+            int main(void) {
+                int keep = handler_b(1, 2) + (int)handler_c(1);
+                int (*pb)(int, long) = handler_b;
+                long (*pc)(int) = handler_c;
+                return f(3) + keep + pb(1, 1) + (int)pc(1);
+            }
+        """
+        program, cfg = cfg_of(source)
+        aux = program.module.aux
+        vsite = [s for s in sites_of(program, "icall")
+                 if s.sig and s.sig.variadic][0]
+        targets = cfg.branch_targets[vsite.site]
+        assert aux.functions["handler_a"].entry in targets
+        assert aux.functions["handler_b"].entry in targets
+        assert aux.functions["handler_c"].entry not in targets
+
+
+class TestReturnEdges:
+    def test_returns_target_callers_retsites(self):
+        source = """
+            long callee(long x) { return x; }
+            int main(void) {
+                long a = callee(1);
+                long b = callee(2);
+                print_int(a + b);
+                return 0;
+            }
+        """
+        program, cfg = cfg_of(source)
+        aux = program.module.aux
+        ret_sites = [s for s in sites_of(program, "ret")
+                     if s.fn == "callee"]
+        assert len(ret_sites) == 1
+        targets = cfg.branch_targets[ret_sites[0].site]
+        main_retsites = {r.address for r in aux.retsites
+                         if r.caller == "main" and r.callee == "callee"}
+        assert len(main_retsites) == 2
+        assert main_retsites <= targets
+
+    def test_tail_call_chain_edges(self):
+        """f calls g; g tail-calls h => h's return targets f's retsite."""
+        source = """
+            long h(long x) { return x * 2; }
+            long g(long x) { return h(x + 1); }   /* tail call on x64 */
+            int main(void) {
+                print_int(g(5));
+                return 0;
+            }
+        """
+        program, cfg = cfg_of(source, arch="x64")
+        aux = program.module.aux
+        h_ret = [s for s in sites_of(program, "ret") if s.fn == "h"][0]
+        main_retsite = [r.address for r in aux.retsites
+                        if r.caller == "main" and r.callee == "g"]
+        assert main_retsite
+        assert set(main_retsite) <= cfg.branch_targets[h_ret.site]
+        # and on x64, g has no ret site at all (its return became a jump)
+        assert not [s for s in sites_of(program, "ret") if s.fn == "g"]
+
+    def test_x32_has_no_tail_edges(self):
+        source = """
+            long h(long x) { return x * 2; }
+            long g(long x) { return h(x + 1); }
+            int main(void) { print_int(g(5)); return 0; }
+        """
+        program, _ = cfg_of(source, arch="x32")
+        assert [s for s in sites_of(program, "ret") if s.fn == "g"]
+
+    def test_uncalled_function_return_has_no_targets(self):
+        source = """
+            long orphan(long x) { return x; }
+            long (*keep)(long) = orphan;
+            int main(void) { return 0; }
+        """
+        program, cfg = cfg_of(source)
+        # orphan is only callable indirectly; its return targets are the
+        # retsites of matching icall sites -- there are none.
+        orphan_ret = [s for s in sites_of(program, "ret")
+                      if s.fn == "orphan"][0]
+        assert cfg.branch_targets[orphan_ret.site] == set()
+        # its branch ECN matches no target ECN
+        ecn = cfg.bary_ecns[orphan_ret.site]
+        assert ecn not in set(cfg.tary_ecns.values())
+
+
+class TestSpecialControlFlow:
+    def test_switch_targets_exact(self):
+        source = """
+            int f(int x) {
+                switch (x) {
+                    case 0: return 1;
+                    case 1: return 2;
+                    case 2: return 3;
+                    case 3: return 4;
+                    default: return 0;
+                }
+            }
+            int main(void) { return f(2); }
+        """
+        program, cfg = cfg_of(source)
+        switch_site = sites_of(program, "switch")[0]
+        assert cfg.branch_targets[switch_site.site] == \
+            set(switch_site.targets)
+        assert len(switch_site.targets) == 4
+
+    def test_longjmp_targets_every_setjmp(self):
+        source = """
+            long e1[4];
+            long e2[4];
+            int main(void) {
+                int a = setjmp(e1);
+                int b = setjmp(e2);
+                if (a == 0 && b == 0) { longjmp(e1, 1); }
+                return a + b;
+            }
+        """
+        program, cfg = cfg_of(source)
+        aux = program.module.aux
+        assert len(aux.setjmp_resumes) == 2
+        lj_site = sites_of(program, "longjmp")[0]
+        assert cfg.branch_targets[lj_site.site] == set(aux.setjmp_resumes)
+
+
+class TestEquivalenceClasses:
+    def test_overlap_merges_classes(self):
+        """Two pointer types sharing one target merge into one class."""
+        source = """
+            typedef long (*u1)(long);
+            long shared(long x) { return x; }
+            long only1(long x) { return x + 1; }
+            u1 a = shared;
+            u1 b = only1;
+            int main(void) { return (int)(a(1) + b(2)); }
+        """
+        program, cfg = cfg_of(source)
+        aux = program.module.aux
+        ecn_shared = cfg.tary_ecns[aux.functions["shared"].entry]
+        ecn_only1 = cfg.tary_ecns[aux.functions["only1"].entry]
+        assert ecn_shared == ecn_only1  # same icall class
+
+    def test_distinct_signatures_distinct_classes(self):
+        source = """
+            long f1(long x) { return x; }
+            long f2(long a, long b) { return a + b; }
+            long (*p1)(long) = f1;
+            long (*p2)(long, long) = f2;
+            int main(void) { return (int)(p1(1) + p2(1, 2)); }
+        """
+        program, cfg = cfg_of(source)
+        aux = program.module.aux
+        assert cfg.tary_ecns[aux.functions["f1"].entry] != \
+            cfg.tary_ecns[aux.functions["f2"].entry]
+
+    def test_stats_consistent(self, demo_program):
+        cfg = generate_cfg(demo_program.module.aux)
+        stats = cfg.stats()
+        assert stats["IBs"] == len(demo_program.module.aux.branch_sites)
+        assert stats["IBTs"] == len(cfg.tary_ecns)
+        assert stats["EQCs"] == len(set(cfg.tary_ecns.values()))
+        assert 0 < stats["EQCs"] <= stats["IBTs"]
+
+    def test_permits_matches_target_sets(self, demo_program):
+        cfg = generate_cfg(demo_program.module.aux)
+        for site, targets in cfg.branch_targets.items():
+            for target in list(targets)[:5]:
+                assert cfg.permits(site, target)
+
+
+class TestCallGraph:
+    def test_edges_include_direct_and_indirect(self, demo_program):
+        graph = build_call_graph(demo_program.module.aux)
+        assert ("main", "classify") in graph.edges
+        # fptr table dispatch: main may call add/sub/mul
+        for callee in ("add", "sub", "mul"):
+            assert ("main", callee) in graph.edges

@@ -1,0 +1,258 @@
+"""Differential testing: randomly generated TinyC programs are run
+natively, run under MCFI, and evaluated by an independent Python
+oracle — all three must agree.
+
+This tests two properties at once:
+
+* **compiler correctness** — the TinyC -> SimISA pipeline computes C
+  semantics (64-bit wrap-around, arithmetic shift, truncating
+  division, short-circuit);
+* **instrumentation transparency** — MCFI never changes a legal
+  program's behaviour, the paper's implicit contract.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import run_source
+
+_MASK = (1 << 64) - 1
+
+
+def _signed(value: int) -> int:
+    value &= _MASK
+    return value - (1 << 64) if value >> 63 else value
+
+
+# -- expression AST with dual semantics (render to C, evaluate in Python) --
+
+@dataclass(frozen=True)
+class Num:
+    value: int
+
+    def render(self) -> str:
+        return str(self.value) if self.value >= 0 else f"({self.value})"
+
+    def evaluate(self, env) -> int:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Var:
+    index: int
+
+    def render(self) -> str:
+        return f"p{self.index}"
+
+    def evaluate(self, env) -> int:
+        return env[self.index]
+
+
+@dataclass(frozen=True)
+class Bin:
+    op: str
+    left: object
+    right: object
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+    def evaluate(self, env) -> int:
+        a = _signed(self.left.evaluate(env))
+        b = _signed(self.right.evaluate(env))
+        if self.op == "+":
+            return _signed(a + b)
+        if self.op == "-":
+            return _signed(a - b)
+        if self.op == "*":
+            return _signed(a * b)
+        if self.op == "&":
+            return _signed(a & b)
+        if self.op == "|":
+            return _signed(a | b)
+        if self.op == "^":
+            return _signed(a ^ b)
+        if self.op == "<":
+            return 1 if a < b else 0
+        if self.op == ">":
+            return 1 if a > b else 0
+        if self.op == "==":
+            return 1 if a == b else 0
+        raise AssertionError(self.op)
+
+
+@dataclass(frozen=True)
+class Shift:
+    op: str
+    left: object
+    amount: int
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.amount})"
+
+    def evaluate(self, env) -> int:
+        a = _signed(self.left.evaluate(env))
+        if self.op == "<<":
+            return _signed(a << self.amount)
+        return _signed(a >> self.amount)  # arithmetic (signed long)
+
+
+@dataclass(frozen=True)
+class SafeDiv:
+    op: str
+    left: object
+    right: object
+
+    def render(self) -> str:
+        divisor = self.right.render()
+        return (f"({self.left.render()} {self.op} "
+                f"({divisor} == 0 ? 1 : {divisor}))")
+
+    def evaluate(self, env) -> int:
+        a = _signed(self.left.evaluate(env))
+        b = _signed(self.right.evaluate(env))
+        if b == 0:
+            b = 1
+        quotient = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            quotient = -quotient
+        if self.op == "/":
+            return _signed(quotient)
+        return _signed(a - quotient * b)
+
+
+@dataclass(frozen=True)
+class Neg:
+    operand: object
+
+    def render(self) -> str:
+        return f"(-{self.operand.render()})"
+
+    def evaluate(self, env) -> int:
+        return _signed(-_signed(self.operand.evaluate(env)))
+
+
+@dataclass(frozen=True)
+class Ternary:
+    cond: object
+    then: object
+    other: object
+
+    def render(self) -> str:
+        return (f"({self.cond.render()} ? {self.then.render()} : "
+                f"{self.other.render()})")
+
+    def evaluate(self, env) -> int:
+        branch = self.then if _signed(self.cond.evaluate(env)) else \
+            self.other
+        return branch.evaluate(env)
+
+
+def expressions(n_params: int, depth: int = 3):
+    small = st.integers(min_value=-100, max_value=100)
+    leaves = st.one_of(
+        small.map(Num),
+        st.integers(0, n_params - 1).map(Var),
+        st.just(Num(0x7FFF)).map(lambda n: n),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from("+-*&|^"), children, children)
+            .map(lambda t: Bin(*t)),
+            st.tuples(st.sampled_from(["<", ">", "=="]), children,
+                      children).map(lambda t: Bin(*t)),
+            st.tuples(st.sampled_from(["<<", ">>"]), children,
+                      st.integers(0, 7)).map(lambda t: Shift(*t)),
+            st.tuples(st.sampled_from(["/", "%"]), children, children)
+            .map(lambda t: SafeDiv(*t)),
+            children.map(Neg),
+            st.tuples(children, children, children)
+            .map(lambda t: Ternary(*t)),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=depth * 6)
+
+
+@st.composite
+def programs(draw):
+    n_params = draw(st.integers(min_value=1, max_value=3))
+    n_funcs = draw(st.integers(min_value=1, max_value=3))
+    funcs = [draw(expressions(n_params)) for _ in range(n_funcs)]
+    n_calls = draw(st.integers(min_value=1, max_value=4))
+    calls: List[Tuple[int, Tuple[int, ...]]] = []
+    for _ in range(n_calls):
+        target = draw(st.integers(0, n_funcs - 1))
+        args = tuple(draw(st.integers(-1000, 1000))
+                     for _ in range(n_params))
+        calls.append((target, args))
+    return n_params, funcs, calls
+
+
+def render_program(n_params, funcs, calls) -> Tuple[str, List[int]]:
+    params = ", ".join(f"long p{i}" for i in range(n_params))
+    lines = []
+    for index, expr in enumerate(funcs):
+        lines.append(f"long f{index}({params}) {{ "
+                     f"return {expr.render()}; }}")
+    body = []
+    expected = []
+    for target, args in calls:
+        arglist = ", ".join(str(a) for a in args)
+        body.append(f"    print_int(f{target}({arglist})); "
+                    f"print_char(' ');")
+        expected.append(funcs[target].evaluate(list(args)))
+    lines.append("int main(void) {\n" + "\n".join(body) +
+                 "\n    return 0;\n}")
+    return "\n".join(lines), expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_native_mcfi_and_oracle_agree(program):
+    n_params, funcs, calls = program
+    source, expected = render_program(n_params, funcs, calls)
+    oracle = ("".join(f"{value} " for value in expected)).encode()
+
+    native = run_source(source, mcfi=False)
+    assert native.ok, f"native failed on:\n{source}\n{native.fault}"
+    assert native.output == oracle, (
+        f"compiler bug:\n{source}\nexpected {oracle!r} "
+        f"got {native.output!r}")
+
+    hardened = run_source(source, mcfi=True)
+    assert hardened.ok, (f"MCFI failed on:\n{source}\n"
+                         f"{hardened.violation or hardened.fault}")
+    assert hardened.output == native.output
+
+
+@settings(max_examples=15, deadline=None)
+@given(programs(), st.integers(0, 2))
+def test_dispatch_through_table_agrees(program, which):
+    """The same programs dispatched through a function-pointer table:
+    the indirect-call path must be as transparent as the direct one."""
+    n_params, funcs, calls = program
+    params = ", ".join(f"long p{i}" for i in range(n_params))
+    lines = []
+    for index, expr in enumerate(funcs):
+        lines.append(f"long f{index}({params}) {{ "
+                     f"return {expr.render()}; }}")
+    names = ", ".join(f"f{i}" for i in range(len(funcs)))
+    lines.append(f"long (*table[{len(funcs)}])({params}) = {{{names}}};")
+    body = []
+    expected = []
+    for target, args in calls:
+        arglist = ", ".join(str(a) for a in args)
+        body.append(f"    print_int(table[{target}]({arglist}));"
+                    f" print_char(' ');")
+        expected.append(funcs[target].evaluate(list(args)))
+    lines.append("int main(void) {\n" + "\n".join(body) +
+                 "\n    return 0;\n}")
+    source = "\n".join(lines)
+    oracle = ("".join(f"{value} " for value in expected)).encode()
+    hardened = run_source(source, mcfi=True)
+    assert hardened.ok, (f"MCFI failed on:\n{source}\n"
+                         f"{hardened.violation or hardened.fault}")
+    assert hardened.output == oracle, source

@@ -1,0 +1,90 @@
+"""Tests for the MCFI 32-bit ID encoding (paper Fig. 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.idencoding import (
+    DecodedId,
+    INVALID_ID,
+    MAX_ECN,
+    MAX_VERSION,
+    bump_version,
+    is_valid_id,
+    pack_id,
+    same_version,
+    unpack_id,
+)
+
+ecns = st.integers(min_value=0, max_value=MAX_ECN)
+versions = st.integers(min_value=0, max_value=MAX_VERSION)
+
+
+class TestPackUnpack:
+    @given(ecns, versions)
+    def test_roundtrip(self, ecn, version):
+        decoded = unpack_id(pack_id(ecn, version))
+        assert decoded == DecodedId(ecn=ecn, version=version, valid=True)
+
+    @given(ecns, versions)
+    def test_reserved_bits(self, ecn, version):
+        ident = pack_id(ecn, version)
+        raw = ident.to_bytes(4, "little")
+        # LSB of each byte must be 1, 0, 0, 0 from low byte to high byte.
+        assert raw[0] & 1 == 1
+        assert raw[1] & 1 == 0
+        assert raw[2] & 1 == 0
+        assert raw[3] & 1 == 0
+
+    def test_zero_is_invalid(self):
+        assert not is_valid_id(INVALID_ID)
+        assert not unpack_id(0).valid
+
+    def test_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            pack_id(MAX_ECN + 1, 0)
+        with pytest.raises(ValueError):
+            pack_id(0, MAX_VERSION + 1)
+        with pytest.raises(ValueError):
+            pack_id(-1, 0)
+
+    @given(ecns, versions)
+    def test_extreme_values_roundtrip(self, ecn, version):
+        for e, v in [(0, 0), (MAX_ECN, MAX_VERSION), (ecn, 0),
+                     (0, version)]:
+            assert unpack_id(pack_id(e, v)) == DecodedId(e, v, True)
+
+
+class TestMisalignedReads:
+    """The reserved-bit design must make any misaligned 4-byte read of
+    a table of valid IDs decode as invalid (paper Sec. 5.1)."""
+
+    @given(st.lists(st.tuples(ecns, versions), min_size=2, max_size=8),
+           st.integers(min_value=1, max_value=3))
+    def test_shifted_read_is_invalid(self, ids, shift):
+        table = b"".join(pack_id(e, v).to_bytes(4, "little")
+                         for e, v in ids)
+        for offset in range(shift, len(table) - 4, 4):
+            word = int.from_bytes(table[offset:offset + 4], "little")
+            assert not is_valid_id(word), (
+                f"misaligned read at {offset} produced a valid ID")
+
+
+class TestVersionComparison:
+    @given(ecns, ecns, versions)
+    def test_same_version_ignores_ecn(self, ecn_a, ecn_b, version):
+        assert same_version(pack_id(ecn_a, version), pack_id(ecn_b, version))
+
+    @given(ecns, versions, versions)
+    def test_different_versions_detected(self, ecn, va, vb):
+        if va == vb:
+            return
+        assert not same_version(pack_id(ecn, va), pack_id(ecn, vb))
+
+    @given(ecns, ecns, versions)
+    def test_full_equality_iff_same_ecn_and_version(self, ea, eb, v):
+        equal = pack_id(ea, v) == pack_id(eb, v)
+        assert equal == (ea == eb)
+
+    def test_bump_wraps(self):
+        assert bump_version(0) == 1
+        assert bump_version(MAX_VERSION) == 0

@@ -1,0 +1,206 @@
+"""Direct unit tests for the MIR layer: structural validation, tail-call
+marking, switch lowering decisions, and global-data layout."""
+
+import pytest
+
+from repro.mir import ir
+from repro.mir.lowering import lower_unit
+from repro.tinyc.parser import parse
+from repro.tinyc.typecheck import check
+
+
+def lower(source):
+    return lower_unit(check(parse(source)))
+
+
+def blocks_of(module, fn):
+    return {b.label: b for b in module.function(fn).blocks}
+
+
+class TestValidation:
+    def test_valid_function_passes(self):
+        module = lower("long f(long x) { return x + 1; }")
+        module.function("f").validate()
+
+    def test_unterminated_block_rejected(self):
+        func = ir.MirFunction(name="f", ftype=None, params=[])
+        func.blocks.append(ir.BasicBlock(label="entry"))
+        with pytest.raises(ValueError, match="terminator"):
+            func.validate()
+
+    def test_unknown_target_rejected(self):
+        func = ir.MirFunction(name="f", ftype=None, params=[])
+        block = ir.BasicBlock(label="entry")
+        block.instrs.append(ir.Jump(target="nowhere"))
+        func.blocks.append(block)
+        with pytest.raises(ValueError, match="nowhere"):
+            func.validate()
+
+    def test_mid_block_terminator_rejected(self):
+        func = ir.MirFunction(name="f", ftype=None, params=[])
+        block = ir.BasicBlock(label="entry")
+        block.instrs.append(ir.Ret())
+        block.instrs.append(ir.Const(dst=0, value=1))
+        block.instrs.append(ir.Ret())
+        func.blocks.append(block)
+        with pytest.raises(ValueError, match="mid-block"):
+            func.validate()
+
+    def test_duplicate_labels_rejected(self):
+        func = ir.MirFunction(name="f", ftype=None, params=[])
+        for _ in range(2):
+            block = ir.BasicBlock(label="entry")
+            block.instrs.append(ir.Ret())
+            func.blocks.append(block)
+        with pytest.raises(ValueError, match="duplicate"):
+            func.validate()
+
+
+class TestTailCallMarking:
+    def _calls(self, source, fn):
+        module = lower(source)
+        out = []
+        for block in module.function(fn).blocks:
+            for inst in block.instrs:
+                if isinstance(inst, (ir.Call, ir.CallInd)):
+                    out.append(inst)
+        return out
+
+    def test_return_call_marked_tail(self):
+        calls = self._calls("""
+            long g(long x) { return x; }
+            long f(long x) { return g(x + 1); }
+        """, "f")
+        assert [c.tail for c in calls] == [True]
+
+    def test_non_terminal_call_not_tail(self):
+        calls = self._calls("""
+            long g(long x) { return x; }
+            long f(long x) { return g(x) + 1; }
+        """, "f")
+        assert [c.tail for c in calls] == [False]
+
+    def test_void_tail_position(self):
+        calls = self._calls("""
+            void g(void) { }
+            void f(void) { g(); }
+        """, "f")
+        assert [c.tail for c in calls] == [True]
+
+    def test_stack_arg_calls_never_tail(self):
+        calls = self._calls("""
+            long g(long a, long b, long c, long d, long e) {
+                return a + e;
+            }
+            long f(void) { return g(1, 2, 3, 4, 5); }
+        """, "f")
+        assert [c.tail for c in calls] == [False]  # 5 args > 4 regs
+
+    def test_indirect_tail_candidate(self):
+        calls = self._calls("""
+            long f(long (*p)(long), long x) { return p(x); }
+        """, "f")
+        assert isinstance(calls[0], ir.CallInd)
+        assert calls[0].tail
+        assert calls[0].sig.render() == "i64(i64)"
+
+
+class TestSwitchLowering:
+    def _terminators(self, source, fn="f"):
+        module = lower(source)
+        return [b.terminator for b in module.function(fn).blocks]
+
+    def test_dense_switch_becomes_table(self):
+        terms = self._terminators("""
+            int f(int x) {
+                switch (x) {
+                    case 0: return 1; case 1: return 2;
+                    case 2: return 3; case 4: return 5;
+                    default: return 0;
+                }
+            }
+        """)
+        switches = [t for t in terms if isinstance(t, ir.SwitchBr)]
+        assert len(switches) == 1
+        # the hole at 3 routes to default
+        assert len(switches[0].targets) == 5
+        assert switches[0].targets[3] == switches[0].default
+
+    def test_sparse_switch_becomes_chain(self):
+        terms = self._terminators("""
+            int f(int x) {
+                switch (x) {
+                    case 0: return 1;
+                    case 500: return 2;
+                    case 90000: return 3;
+                    default: return 0;
+                }
+            }
+        """)
+        assert not any(isinstance(t, ir.SwitchBr) for t in terms)
+
+    def test_two_cases_never_a_table(self):
+        terms = self._terminators("""
+            int f(int x) {
+                switch (x) { case 0: return 1; case 1: return 2;
+                             default: return 0; }
+            }
+        """)
+        assert not any(isinstance(t, ir.SwitchBr) for t in terms)
+
+
+class TestGlobalData:
+    def test_scalar_words(self):
+        module = lower("long a = -7; int b = 9;")
+        assert module.globals["a"].words == [(0, 8, -7)]
+        assert module.globals["b"].words == [(0, 4, 9)]
+
+    def test_array_and_struct_offsets(self):
+        module = lower("""
+            struct pair { long x; long y; };
+            struct pair p = {3, 4};
+            int arr[4] = {10, 20, 30};
+        """)
+        assert module.globals["p"].words == [(0, 8, 3), (8, 8, 4)]
+        assert module.globals["arr"].words == \
+            [(0, 4, 10), (4, 4, 20), (8, 4, 30)]
+
+    def test_function_reloc(self):
+        module = lower("""
+            void cb(void) { }
+            void (*slots[2])(void) = {cb, cb};
+        """)
+        assert module.globals["slots"].relocs == \
+            [(0, "func", "cb"), (8, "func", "cb")]
+
+    def test_string_reloc_and_interning(self):
+        module = lower('char *a = "hi"; char *b = "hi";')
+        relocs = (module.globals["a"].relocs +
+                  module.globals["b"].relocs)
+        sids = {sid for _, kind, sid in relocs if kind == "str"}
+        assert len(sids) == 1  # deduplicated blob
+        assert module.strings[sids.pop()] == b"hi\x00"
+
+    def test_global_address_reloc(self):
+        module = lower("long target; long *p = &target;")
+        assert module.globals["p"].relocs == [(0, "global", "target")]
+
+    def test_unsupported_initializer_rejected(self):
+        from repro.errors import CodegenError
+        with pytest.raises(CodegenError):
+            lower("long a = 1; long b = a + 2;")
+
+
+class TestVregDiscipline:
+    def test_vreg_count_matches_uses(self):
+        module = lower("long f(long x) { return x * 2 + 1; }")
+        func = module.function("f")
+        used = set()
+        for block in func.blocks:
+            for inst in block.instrs:
+                for attr in ("dst", "src", "left", "right", "addr",
+                             "pointer", "value", "buf"):
+                    value = getattr(inst, attr, None)
+                    if isinstance(value, int):
+                        used.add(value)
+        assert used <= set(range(func.n_vregs))

@@ -1,0 +1,101 @@
+"""Tests for the four check-transaction algorithm implementations."""
+
+import pytest
+
+from repro.core.stm_baselines import (
+    ALGORITHMS,
+    McfiChecker,
+    MutexChecker,
+    RwlChecker,
+    TmlChecker,
+    make_workload,
+)
+
+
+@pytest.fixture(params=ALGORITHMS, ids=lambda cls: cls.name)
+def checker(request):
+    bary, tary = make_workload(n_sites=8, n_targets=64, n_classes=4)
+    return request.param(8, 64, bary, tary)
+
+
+class TestCorrectness:
+    def test_permitted_pairs_allowed(self, checker):
+        # target index t has ECN t % 4; site s has ECN s % 4.
+        assert checker.check(1, 5)      # 1 % 4 == 5 % 4
+        assert checker.check(0, 60)     # both class 0
+
+    def test_mismatched_pairs_denied(self, checker):
+        assert not checker.check(1, 6)
+        assert not checker.check(3, 0)
+
+    def test_update_preserves_policy(self, checker):
+        for _ in range(3):
+            checker.update()
+        assert checker.check(2, 6)
+        assert not checker.check(2, 7)
+
+    def test_all_pairs_agree_across_algorithms(self):
+        bary, tary = make_workload(n_sites=8, n_targets=32, n_classes=4)
+        instances = [cls(8, 32, bary, tary) for cls in ALGORITHMS]
+        for site in range(8):
+            for target in range(32):
+                answers = {inst.check(site, target) for inst in instances}
+                assert len(answers) == 1, (
+                    f"algorithms disagree on ({site}, {target})")
+
+
+class TestMcfiSpecifics:
+    def test_version_embedded_in_ids(self):
+        bary, tary = make_workload(4, 16, 2)
+        mcfi = McfiChecker(4, 16, bary, tary)
+        from repro.core.idencoding import unpack_id
+        assert unpack_id(mcfi.tary[0]).version == 0
+        mcfi.update()
+        assert unpack_id(mcfi.tary[0]).version == 1
+        assert unpack_id(mcfi.bary[0]).version == 1
+
+    def test_unassigned_target_invalid(self):
+        mcfi = McfiChecker(2, 8, {0: 0, 1: 1}, {0: 0})
+        assert not mcfi.check(0, 5)  # entry 5 never assigned: all-zero ID
+
+    def test_retry_loop_resolves_version_skew(self):
+        """Simulate a mid-update read: Tary new, Bary still old."""
+        mcfi = McfiChecker(2, 8, {0: 0}, {0: 0, 4: 0})
+        from repro.core.idencoding import pack_id
+        mcfi.tary[0] = pack_id(0, 1)  # updater wrote Tary first
+
+        class FixAfterOneRead(list):
+            def __init__(self, backing, fix):
+                super().__init__(backing)
+                self.reads = 0
+                self.fix = fix
+
+            def __getitem__(self, index):
+                self.reads += 1
+                if self.reads > 1:
+                    return self.fix
+                return super().__getitem__(index)
+
+        mcfi.bary = FixAfterOneRead(mcfi.bary, pack_id(0, 1))
+        assert mcfi.check(0, 0)
+
+
+class TestTmlSpecifics:
+    def test_seq_lock_blocks_during_write(self):
+        bary, tary = make_workload(4, 16, 2)
+        tml = TmlChecker(4, 16, bary, tary)
+        assert tml.seq % 2 == 0
+        tml.update()
+        assert tml.seq % 2 == 0
+        assert tml.seq == 2
+
+
+class TestLockBased:
+    @pytest.mark.parametrize("cls", [RwlChecker, MutexChecker])
+    def test_locks_are_released(self, cls):
+        bary, tary = make_workload(4, 16, 2)
+        instance = cls(4, 16, bary, tary)
+        for _ in range(100):
+            instance.check(1, 1)
+        instance.update()
+        assert instance.check(1, 1)  # would deadlock if a lock leaked

@@ -1,0 +1,83 @@
+"""Tests for the TinyC lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.tinyc.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("int foo_bar _x9;")
+        assert tokens[0].kind == "keyword"
+        assert tokens[1] == Token("ident", "foo_bar", 1, tokens[1].column)
+        assert tokens[2].text == "_x9"
+
+    def test_integer_literals(self):
+        tokens = tokenize("0 42 0x1F 123u 9L")
+        assert [t.value for t in tokens[:-1]] == [0, 42, 31, 123, 9]
+
+    def test_float_literals(self):
+        tokens = tokenize("1.5 2e3 7.25e-1 3f")
+        assert [t.kind for t in tokens[:-1]] == ["float"] * 4
+        assert tokens[0].value == 1.5
+        assert tokens[1].value == 2000.0
+        assert tokens[2].value == 0.725
+
+    def test_char_literals(self):
+        tokens = tokenize(r"'a' '\n' '\0' '\\'")
+        assert [t.value for t in tokens[:-1]] == [97, 10, 0, 92]
+
+    def test_string_literals(self):
+        tokens = tokenize(r'"hi\n" ""')
+        assert tokens[0].value == b"hi\n"
+        assert tokens[1].value == b""
+
+    def test_operators_longest_match(self):
+        assert texts("a <<= b >> c->d ... ++e") == [
+            "a", "<<=", "b", ">>", "c", "->", "d", "...", "++", "e"]
+
+    def test_comments_stripped(self):
+        assert kinds("a // line comment\n b /* block\n comment */ c") == \
+            ["ident", "ident", "ident"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"ab\ncd"')
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'ab")

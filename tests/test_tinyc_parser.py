@@ -1,0 +1,206 @@
+"""Tests for the TinyC parser, especially C declarator syntax."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.tinyc import ast
+from repro.tinyc.parser import parse
+from repro.tinyc.types import (
+    ArrayType,
+    FuncType,
+    PointerType,
+    StructType,
+    canonical,
+)
+
+
+def parse_decl(source):
+    """Parse one global declaration; return (name, type)."""
+    unit = parse(source)
+    if unit.globals:
+        var = unit.globals[0]
+        return var.name, var.ctype
+    decl = unit.decls[0]
+    return decl.name, decl.ftype
+
+
+class TestDeclarators:
+    def test_simple_pointer(self):
+        name, ctype = parse_decl("int *p;")
+        assert name == "p"
+        assert canonical(ctype) == "ptr(i32)"
+
+    def test_pointer_to_pointer(self):
+        _, ctype = parse_decl("char **argv;")
+        assert canonical(ctype) == "ptr(ptr(i8))"
+
+    def test_array_of_pointers(self):
+        _, ctype = parse_decl("int *a[10];")
+        assert isinstance(ctype, ArrayType)
+        assert canonical(ctype) == "arr(ptr(i32),10)"
+
+    def test_pointer_to_array(self):
+        _, ctype = parse_decl("int (*a)[10];")
+        assert isinstance(ctype, PointerType)
+        assert canonical(ctype) == "ptr(arr(i32,10))"
+
+    def test_function_pointer(self):
+        name, ctype = parse_decl("int (*cmp)(char *, char *);")
+        assert name == "cmp"
+        assert isinstance(ctype, PointerType)
+        assert isinstance(ctype.pointee, FuncType)
+        assert canonical(ctype) == "ptr(fn(i32;ptr(i8),ptr(i8)))"
+
+    def test_array_of_function_pointers(self):
+        _, ctype = parse_decl("void (*handlers[4])(int);")
+        assert canonical(ctype) == "arr(ptr(fn(void;i32)),4)"
+
+    def test_function_returning_pointer(self):
+        name, ctype = parse_decl("char *strdup2(char *s);")
+        assert isinstance(ctype, FuncType)
+        assert canonical(ctype.ret) == "ptr(i8)"
+
+    def test_function_pointer_parameter(self):
+        _, ctype = parse_decl(
+            "void qsort2(void *b, int (*cmp)(void *, void *));")
+        assert canonical(ctype.params[1]) == \
+            "ptr(fn(i32;ptr(void),ptr(void)))"
+
+    def test_variadic_prototype(self):
+        _, ctype = parse_decl("int printf2(char *fmt, ...);")
+        assert ctype.variadic
+        assert len(ctype.params) == 1
+
+    def test_void_params(self):
+        _, ctype = parse_decl("int f(void);")
+        assert ctype.params == ()
+
+    def test_multiple_declarators_one_line(self):
+        unit = parse("int a = 1, *b, c[3];")
+        assert [g.name for g in unit.globals] == ["a", "b", "c"]
+        assert canonical(unit.globals[1].ctype) == "ptr(i32)"
+
+
+class TestTypedefsAndStructs:
+    def test_typedef_resolution(self):
+        unit = parse("typedef unsigned long size_t2; size_t2 n;")
+        assert canonical(unit.globals[0].ctype) == "u64"
+
+    def test_typedef_of_function_pointer(self):
+        unit = parse("typedef int (*op_t)(int, int); op_t f;")
+        assert canonical(unit.globals[0].ctype) == "ptr(fn(i32;i32,i32))"
+
+    def test_struct_definition_and_use(self):
+        unit = parse("""
+            struct point { long x; long y; };
+            struct point origin;
+        """)
+        ctype = unit.globals[0].ctype
+        assert isinstance(ctype, StructType)
+        assert ctype.field_type("y") is not None
+
+    def test_self_referential_struct(self):
+        unit = parse("""
+            typedef struct node { int v; struct node *next; } node;
+            node head;
+        """)
+        ctype = unit.globals[0].ctype
+        assert ctype.field_type("next").pointee is ctype
+
+    def test_union(self):
+        unit = parse("union u { int i; double d; }; union u x;")
+        assert unit.globals[0].ctype.is_union
+
+    def test_enum_constants(self):
+        unit = parse("""
+            enum color { RED, GREEN = 5, BLUE };
+            int f(void) { return BLUE; }
+        """)
+        ret = unit.funcs[0].body.stmts[0]
+        assert isinstance(ret, ast.Return)
+        assert ret.value.value == 6
+
+
+class TestStatementsAndExpressions:
+    def test_precedence(self):
+        unit = parse("int f(void) { return 1 + 2 * 3; }")
+        expr = unit.funcs[0].body.stmts[0].value
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_ternary_and_assignment(self):
+        unit = parse("int f(int x) { int y = x > 0 ? x : -x; return y; }")
+        decl = unit.funcs[0].body.stmts[0]
+        assert isinstance(decl.init, ast.Cond)
+
+    def test_switch_with_fallthrough_structure(self):
+        unit = parse("""
+            int f(int x) {
+                switch (x) {
+                    case 1:
+                    case 2: return 9;
+                    default: return 0;
+                }
+            }
+        """)
+        switch = unit.funcs[0].body.stmts[0]
+        assert [c.value for c in switch.cases] == [1, 2, None]
+        assert switch.cases[0].stmts == []
+
+    def test_negative_case_values(self):
+        unit = parse("int f(int x) { switch (x) { case -3: return 1; "
+                     "default: return 0; } }")
+        assert unit.funcs[0].body.stmts[0].cases[0].value == -3
+
+    def test_for_loop_with_declaration(self):
+        unit = parse("int f(void) { int s = 0; "
+                     "for (int i = 0; i < 4; i++) { s += i; } return s; }")
+        loop = unit.funcs[0].body.stmts[1]
+        assert isinstance(loop, ast.For)
+
+    def test_do_while(self):
+        unit = parse("int f(void) { int i = 0; do { i++; } while (i < 3);"
+                     " return i; }")
+        assert isinstance(unit.funcs[0].body.stmts[1], ast.DoWhile)
+
+    def test_cast_vs_parenthesized_expression(self):
+        unit = parse("typedef int myint; "
+                     "long f(long x) { return (myint)x + (x); }")
+        expr = unit.funcs[0].body.stmts[0].value
+        assert isinstance(expr.left, ast.Cast)
+        assert isinstance(expr.right, ast.Ident)
+
+    def test_sizeof_forms(self):
+        unit = parse("int f(void) { int a; "
+                     "return sizeof(long) + sizeof a; }")
+        expr = unit.funcs[0].body.stmts[1].value
+        assert isinstance(expr.left, ast.SizeofType)
+        assert expr.left.query is not None
+        assert expr.right.operand is not None
+
+    def test_string_and_char_literals(self):
+        unit = parse("char *s = \"hi\"; int c = 'x';")
+        assert unit.globals[0].init.value == b"hi"
+        assert unit.globals[1].init.value == 120
+
+    def test_brace_initializer(self):
+        unit = parse("int a[3] = {1, 2, 3}; ")
+        assert [e.value for e in unit.globals[0].init] == [1, 2, 3]
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int a")
+
+    def test_local_brace_initializer_unsupported(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { int a[2] = {1, 2}; }")
+
+    def test_statement_before_case(self):
+        with pytest.raises(ParseError):
+            parse("void f(int x) { switch (x) { x++; case 1: break; } }")
+
+    def test_unknown_type(self):
+        with pytest.raises(ParseError):
+            parse("floatish x;")

@@ -1,0 +1,105 @@
+"""Tests for the branch tracer and the dynamic conformance checker —
+the ground-truth bridge between enforcement and policy."""
+
+import pytest
+
+from repro.cfg.generator import generate_cfg
+from repro.metrics.cfgstats import compare, profile
+from repro.runtime.runtime import Runtime
+from repro.vm.cpu import ProgramExit
+from repro.vm.trace import BranchTracer, ConformanceChecker, site_map
+
+
+class TestBranchTracer:
+    def test_records_indirect_transfers(self, demo_program):
+        runtime = Runtime(demo_program)
+        cpu = runtime.main_cpu()
+        tracer = BranchTracer(cpu)
+        result = runtime.run()
+        assert result.ok
+        summary = tracer.summary()
+        # the demo performs fptr calls, a switch jump, longjmp, returns
+        assert summary.get("jmp*", 0) > 0     # rewritten returns + switch
+        assert summary.get("call*", 0) >= 3   # the ops[] dispatches
+        assert all(e.kind in ("ret", "jmp*", "call*")
+                   for e in tracer.events)
+
+    def test_native_trace_contains_real_rets(self, demo_program_native):
+        runtime = Runtime(demo_program_native)
+        tracer = BranchTracer(runtime.main_cpu())
+        assert runtime.run().ok
+        assert tracer.summary().get("ret", 0) > 0
+
+    def test_detach_restores_step(self, demo_program):
+        runtime = Runtime(demo_program)
+        cpu = runtime.main_cpu()
+        tracer = BranchTracer(cpu)
+        tracer.detach()
+        runtime.run()
+        assert tracer.events == []
+
+    def test_limit_bounds_memory(self, demo_program):
+        runtime = Runtime(demo_program)
+        tracer = BranchTracer(runtime.main_cpu(), limit=5)
+        runtime.run()
+        assert len(tracer.events) == 5
+
+
+class TestConformance:
+    def test_demo_run_conforms_to_cfg(self, demo_program):
+        """Every indirect transfer the hardened demo performs is
+        permitted by the generated CFG — enforcement equals policy."""
+        runtime = Runtime(demo_program)
+        cfg = generate_cfg(demo_program.module.aux)
+        sites = site_map(demo_program.module)
+        checker = ConformanceChecker(runtime.main_cpu(), cfg,
+                                     site_of=sites)
+        assert runtime.run().ok
+        checked = checker.verify_trace()
+        assert checked > 10
+        assert checker.conformant, checker.violations[:5]
+
+    def test_workload_run_conforms(self, bench_program):
+        runtime = Runtime(bench_program["mcfi"])
+        cfg = generate_cfg(bench_program["mcfi"].module.aux)
+        sites = site_map(bench_program["mcfi"].module)
+        checker = ConformanceChecker(runtime.main_cpu(), cfg,
+                                     site_of=sites)
+        assert runtime.run().ok
+        checker.verify_trace()
+        assert checker.conformant, checker.violations[:5]
+
+    def test_site_map_covers_all_sites(self, demo_program):
+        sites = site_map(demo_program.module)
+        assert set(sites.values()) == \
+            {s.site for s in demo_program.module.aux.branch_sites}
+
+    def test_checker_flags_foreign_targets(self, demo_program):
+        from repro.vm.trace import BranchEvent
+        runtime = Runtime(demo_program)
+        cfg = generate_cfg(demo_program.module.aux)
+        checker = ConformanceChecker(runtime.main_cpu(), cfg)
+        checker.tracer.events.append(
+            BranchEvent("jmp*", 0x10000, 0xDEAD000))
+        checker.verify_trace()
+        assert not checker.conformant
+
+
+class TestCfgProfile:
+    def test_profile_consistency(self, bench_program):
+        aux = bench_program["mcfi"].module.aux
+        cfg = generate_cfg(aux)
+        prof = profile(aux, cfg)
+        assert prof.ibs == len(aux.branch_sites)
+        assert sum(prof.branches_by_kind.values()) == prof.ibs
+        assert prof.target_set_spread[0] <= prof.target_set_spread[1] \
+            <= prof.target_set_spread[2]
+        # returns dominate the branch mix, as in any C program
+        assert prof.branches_by_kind["ret"] > \
+            prof.branches_by_kind.get("icall", 0)
+
+    def test_compare_renders(self, bench_program):
+        aux = bench_program["mcfi"].module.aux
+        cfg = generate_cfg(aux)
+        text = compare({"mcfi": profile(aux, cfg)})
+        assert "EQCs" in text and "mcfi" in text

@@ -1,0 +1,306 @@
+"""Tests for ID tables and the check/update transactions (Sec. 5.2).
+
+Includes the property-based linearizability test: under arbitrary
+seeded interleavings of check and update transactions, every check
+observes either the fully-old or the fully-new CFG — never a mix that
+permits an illegal transfer.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.idencoding import pack_id, unpack_id
+from repro.core.tables import IdTables, bary_index, tary_index
+from repro.core.transactions import (
+    CheckResult,
+    UpdateLock,
+    UpdateTransaction,
+    periodic_updater,
+    refresh_transaction,
+    tx_check,
+    tx_check_gen,
+)
+from repro.errors import RuntimeError_
+from repro.vm.memory import TableMemory
+from repro.vm.scheduler import GeneratorTask, Scheduler
+
+
+def make_tables(tary=None, bary=None, version=0):
+    tables = IdTables(TableMemory())
+    tables.install(tary or {}, bary or {}, version=version)
+    return tables
+
+
+class TestIdTables:
+    def test_install_and_lookup(self):
+        tables = make_tables({0x1000: 3, 0x1004: 5}, {0: 3, 1: 5})
+        assert tables.target_ecn(0x1000) == 3
+        assert tables.target_ecn(0x1004) == 5
+        assert tables.target_ecn(0x1008) is None
+        assert unpack_id(tables.branch_id(0)).ecn == 3
+
+    def test_permitted_matches_ecn(self):
+        tables = make_tables({0x1000: 3, 0x1004: 5}, {0: 3})
+        assert tables.permitted(0, 0x1000)
+        assert not tables.permitted(0, 0x1004)
+        assert not tables.permitted(0, 0x1001)  # unaligned
+        assert not tables.permitted(0, 0x2000)  # no entry
+
+    def test_unaligned_target_rejected_at_install(self):
+        with pytest.raises(RuntimeError_):
+            make_tables({0x1001: 1}, {})
+
+    def test_clear_targets(self):
+        tables = make_tables({0x1000: 1}, {})
+        tables.clear_targets([0x1000])
+        assert tables.target_ecn(0x1000) is None
+
+    def test_stats(self):
+        tables = make_tables({0x1000: 1, 0x1004: 1, 0x1008: 2}, {0: 1})
+        stats = tables.stats()
+        assert stats["targets"] == 3
+        assert stats["equivalence_classes"] == 2
+
+
+class TestTxCheck:
+    def test_allowed(self):
+        tables = make_tables({0x1000: 7}, {0: 7})
+        assert tx_check(tables, 0, 0x1000) == (CheckResult.ALLOWED, 0)
+
+    def test_ecn_mismatch(self):
+        tables = make_tables({0x1000: 7, 0x1004: 8}, {0: 7})
+        assert tx_check(tables, 0, 0x1004)[0] == CheckResult.ECN_MISMATCH
+
+    def test_invalid_target(self):
+        tables = make_tables({0x1000: 7}, {0: 7})
+        assert tx_check(tables, 0, 0x2000)[0] == CheckResult.INVALID_TARGET
+        assert tx_check(tables, 0, 0x1001)[0] == CheckResult.INVALID_TARGET
+
+    def test_out_of_range_target(self):
+        tables = make_tables({0x1000: 7}, {0: 7})
+        result, _ = tx_check(tables, 0, 0xFFFFFFF0)
+        assert result == CheckResult.OUT_OF_RANGE
+
+    def test_version_mismatch_retries(self):
+        tables = make_tables({0x1000: 7}, {0: 7})
+        # Manually give the target a newer version: the branch ID is
+        # stale, so the check must retry; after we fix the branch ID it
+        # completes.  Simulate with a one-shot interleaving.
+        tables.memory.write_tary(tary_index(0x1000), pack_id(7, 1))
+        original_read = tables.memory.read_bary
+        calls = {"n": 0}
+
+        def flaky_read(index):
+            calls["n"] += 1
+            if calls["n"] >= 2:  # update "finishes"
+                return pack_id(7, 1)
+            return original_read(index)
+
+        tables.memory.read_bary = flaky_read
+        result, retries = tx_check(tables, 0, 0x1000)
+        assert result == CheckResult.ALLOWED
+        assert retries == 1
+
+
+class TestUpdateLock:
+    def test_serialization(self):
+        lock = UpdateLock()
+        first = lock.acquire_spin("a")
+        list(first)
+        assert lock.held
+        second = lock.acquire_spin("b")
+        assert next(second, "blocked") is None  # still spinning
+        lock.release("a")
+        list(second)
+        assert lock.held
+        lock.release("b")
+
+    def test_wrong_owner_release_rejected(self):
+        lock = UpdateLock()
+        list(lock.acquire_spin("a"))
+        with pytest.raises(RuntimeError_):
+            lock.release("b")
+
+
+class TestUpdateTransaction:
+    def test_version_bumped_and_ecns_installed(self):
+        tables = make_tables({0x1000: 1}, {0: 1})
+        tx = UpdateTransaction(tables, UpdateLock(),
+                               new_tary={0x1000: 1, 0x1004: 2},
+                               new_bary={0: 1, 1: 2})
+        for _ in tx.run():
+            pass
+        assert tx.completed
+        assert tables.version == 1
+        assert tables.target_ecn(0x1004) == 2
+        assert unpack_id(tables.target_id(0x1000)).version == 1
+
+    def test_stale_entries_zeroed(self):
+        tables = make_tables({0x1000: 1, 0x1004: 2}, {0: 1})
+        tx = UpdateTransaction(tables, UpdateLock(),
+                               new_tary={0x1000: 1}, new_bary={0: 1})
+        for _ in tx.run():
+            pass
+        assert tables.target_ecn(0x1004) is None
+
+    def test_tary_updated_before_bary(self):
+        """Fig. 3's ordering: when the first Bary write lands, every
+        Tary write must already have landed."""
+        tables = make_tables({0x1000 + 4 * i: 1 for i in range(64)},
+                             {0: 1})
+        tx = UpdateTransaction(tables, UpdateLock(),
+                               new_tary={0x1000 + 4 * i: 1
+                                         for i in range(64)},
+                               new_bary={0: 1}, batch=8)
+        for _ in tx.run():
+            branch_version = unpack_id(tables.branch_id(0)).version
+            if branch_version == 1:  # Bary already new ...
+                for i in range(64):  # ... then Tary is fully new
+                    ident = unpack_id(tables.target_id(0x1000 + 4 * i))
+                    assert ident.version == 1
+
+    def test_got_updates_applied_at_barrier(self):
+        tables = make_tables({}, {})
+        written = {}
+        tx = UpdateTransaction(tables, UpdateLock(), new_tary={},
+                               new_bary={},
+                               got_writer=lambda a, v: written.update(
+                                   {a: v}),
+                               got_updates=[(0x5000, 0x1234)])
+        for _ in tx.run():
+            pass
+        assert written == {0x5000: 0x1234}
+
+    def test_got_updates_without_writer_rejected(self):
+        tables = make_tables({}, {})
+        tx = UpdateTransaction(tables, UpdateLock(), new_tary={},
+                               new_bary={}, got_updates=[(1, 2)])
+        with pytest.raises(RuntimeError_):
+            for _ in tx.run():
+                pass
+
+    def test_lock_released_on_error(self):
+        tables = make_tables({}, {})
+        lock = UpdateLock()
+        tx = UpdateTransaction(tables, lock, new_tary={0x1001: 1},
+                               new_bary={})
+        with pytest.raises(Exception):
+            for _ in tx.run():
+                pass
+        assert not lock.held
+
+    def test_refresh_preserves_ecns(self):
+        tables = make_tables({0x1000: 3, 0x1004: 4}, {0: 3})
+        for _ in refresh_transaction(tables, UpdateLock()).run():
+            pass
+        assert tables.version == 1
+        assert tables.target_ecn(0x1000) == 3
+        assert tables.target_ecn(0x1004) == 4
+
+
+class TestLinearizability:
+    """The concurrent correctness property (Sec. 5.2): interleaved
+    check and refresh transactions never observe a broken policy."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_checks_never_break_under_refresh(self, seed):
+        targets = {0x1000 + 4 * i: i % 5 for i in range(50)}
+        branches = {s: s % 5 for s in range(10)}
+        tables = make_tables(targets, branches)
+        lock = UpdateLock()
+
+        allowed_pairs = [(s, a) for s in branches for a in targets
+                         if branches[s] == targets[a]]
+        denied_pairs = [(s, a) for s in branches for a in targets
+                        if branches[s] != targets[a]][:20]
+        results = []
+
+        def checker():
+            for i in range(120):
+                site, addr = allowed_pairs[i % len(allowed_pairs)]
+                sink = []
+                yield from tx_check_gen(tables, site, addr, sink)
+                results.append(("allow", sink[0][0]))
+                site, addr = denied_pairs[i % len(denied_pairs)]
+                sink = []
+                yield from tx_check_gen(tables, site, addr, sink)
+                results.append(("deny", sink[0][0]))
+                yield
+
+        def updater():
+            for _ in range(3):
+                yield from refresh_transaction(tables, lock, batch=4).run()
+
+        scheduler = Scheduler(seed=seed)
+        scheduler.add_generator(checker(), "checker")
+        scheduler.add_generator(updater(), "updater")
+        scheduler.run()
+
+        for expectation, outcome in results:
+            if expectation == "allow":
+                assert outcome == CheckResult.ALLOWED
+            else:
+                assert outcome == CheckResult.ECN_MISMATCH
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_policy_change_is_atomic(self, seed):
+        """During a policy *change* (not just refresh), a check sees
+        either the old or the new ECN assignment in full."""
+        old_tary = {0x1000: 1, 0x1004: 2}
+        new_tary = {0x1000: 2, 0x1004: 2}  # 0x1000 moves into class 2
+        tables = make_tables(old_tary, {0: 1, 1: 2})
+        lock = UpdateLock()
+        observations = []
+
+        def checker():
+            for _ in range(60):
+                sink = []
+                yield from tx_check_gen(tables, 1, 0x1000, sink)
+                observations.append(sink[0][0])
+                yield
+
+        def updater():
+            yield from UpdateTransaction(
+                tables, lock, new_tary=new_tary, new_bary={0: 1, 1: 2},
+                batch=1).run()
+
+        scheduler = Scheduler(seed=seed)
+        scheduler.add_generator(checker(), "checker")
+        scheduler.add_generator(updater(), "updater")
+        scheduler.run()
+        # site 1 -> 0x1000 is denied under old, allowed under new; the
+        # sequence must be monotone: once allowed, never denied again.
+        seen_allowed = False
+        for outcome in observations:
+            assert outcome in (CheckResult.ALLOWED,
+                               CheckResult.ECN_MISMATCH)
+            if outcome == CheckResult.ALLOWED:
+                seen_allowed = True
+            else:
+                assert not seen_allowed, "policy flapped old<->new"
+
+
+class TestPeriodicUpdater:
+    def test_fires_at_interval(self):
+        tables = make_tables({0x1000: 1}, {0: 1})
+        lock = UpdateLock()
+        clock = {"cycles": 0}
+        counter = {}
+
+        def ticking_checker():
+            for _ in range(100):
+                clock["cycles"] += 10
+                yield
+
+        scheduler = Scheduler(seed=0)
+        scheduler.add_generator(ticking_checker(), "clock")
+        scheduler.add_generator(
+            periodic_updater(tables, lock, lambda: clock["cycles"],
+                             interval=300, counter=counter,
+                             stop=lambda: clock["cycles"] >= 1000),
+            "updater")
+        scheduler.run(max_ticks=10_000)
+        assert counter.get("updates", 0) >= 2
+        assert tables.version == counter["updates"]

@@ -1,0 +1,208 @@
+"""Tests for the TinyC type checker and its semantic-fact collection."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.tinyc.parser import parse
+from repro.tinyc.typecheck import check
+from repro.tinyc.types import canonical
+
+
+def checked(source):
+    return check(parse(source))
+
+
+class TestTyping:
+    def test_arithmetic_promotion_to_double(self):
+        unit = checked("double f(int x) { return x + 1.5; }")
+        ret = unit.functions["f"].body.stmts[0]
+        assert canonical(ret.value.ctype) == "f64"
+
+    def test_pointer_arithmetic_type(self):
+        unit = checked("long *f(long *p, int n) { return p + n; }")
+        ret = unit.functions["f"].body.stmts[0]
+        assert canonical(ret.value.ctype) == "ptr(i64)"
+
+    def test_comparison_yields_int(self):
+        unit = checked("int f(long a, long b) { return a < b; }")
+        ret = unit.functions["f"].body.stmts[0]
+        assert canonical(ret.value.ctype) == "i32"
+
+    def test_member_access_types(self):
+        unit = checked("""
+            struct pair { long a; double b; };
+            double f(struct pair *p) { return p->b; }
+        """)
+        ret = unit.functions["f"].body.stmts[0]
+        assert canonical(ret.value.ctype) == "f64"
+
+    def test_locals_get_unique_names(self):
+        unit = checked("""
+            int f(int x) {
+                int y = x;
+                { int y = 2; x += y; }
+                return y;
+            }
+        """)
+        names = [name for name, _ in unit.functions["f"].locals]
+        assert len(names) == len(set(names)) == 3  # x, y, inner y
+
+    def test_implicit_return_coercion(self):
+        unit = checked("double f(void) { return 3; }")
+        from repro.tinyc import ast
+        ret = unit.functions["f"].body.stmts[0]
+        assert isinstance(ret.value, ast.Cast)
+        assert not ret.value.explicit
+
+
+class TestAddressTaken:
+    def test_direct_call_does_not_take_address(self):
+        unit = checked("""
+            int g(void) { return 1; }
+            int f(void) { return g(); }
+        """)
+        assert "g" not in unit.address_taken
+
+    def test_value_use_takes_address(self):
+        unit = checked("""
+            int g(void) { return 1; }
+            int (*p)(void);
+            int f(void) { p = g; return 0; }
+        """)
+        assert "g" in unit.address_taken
+
+    def test_explicit_addressof_takes_address(self):
+        unit = checked("""
+            int g(void) { return 1; }
+            int (*p)(void);
+            int f(void) { p = &g; return 0; }
+        """)
+        assert "g" in unit.address_taken
+
+
+class TestCallRecords:
+    def test_direct_and_indirect_calls_recorded(self):
+        unit = checked("""
+            int g(int x) { return x; }
+            int f(int (*fp)(int)) { return g(1) + fp(2); }
+        """)
+        direct = [c for c in unit.calls if c.direct == "g"]
+        indirect = [c for c in unit.calls if c.direct is None]
+        assert len(direct) == 1 and direct[0].caller == "f"
+        assert len(indirect) == 1
+        assert indirect[0].sig.render() == "i32(i32)"
+
+    def test_variadic_call_allows_extra_args(self):
+        unit = checked("""
+            int v(int first, ...);
+            int f(void) { return v(1, 2, 3); }
+        """)
+        assert unit.calls[0].direct == "v"
+
+    def test_deref_call_normalizes_to_indirect(self):
+        unit = checked("""
+            int f(int (*fp)(int)) { return (*fp)(3); }
+        """)
+        assert unit.calls[0].direct is None
+
+
+class TestCastRecords:
+    def test_only_fptr_casts_recorded(self):
+        unit = checked("""
+            void f(void) {
+                long a = (long)3.5;         /* numeric: not recorded */
+                void *p = (void *)&a;        /* no fptr: not recorded */
+            }
+        """)
+        assert unit.casts == []
+
+    def test_fptr_to_void_star_recorded(self):
+        unit = checked("""
+            void g(void) { }
+            void f(void) { void *p = (void *)g; }
+        """)
+        assert len(unit.casts) == 1
+        record = unit.casts[0]
+        assert record.operand_func == "g"
+        assert record.explicit
+
+    def test_null_initialization_flagged_zero(self):
+        unit = checked("""
+            void (*handler)(int);
+            void f(void) { handler = 0; }
+        """)
+        assert unit.casts[0].operand_zero
+        assert unit.casts[0].assign_to_fptr
+
+    def test_malloc_cast_flagged(self):
+        unit = checked("""
+            void *malloc(unsigned long n);
+            struct obj { void (*cb)(void); };
+            void f(void) {
+                struct obj *o = (struct obj *)malloc(8u);
+            }
+        """)
+        assert unit.casts[0].via_alloc
+
+    def test_member_nonfptr_flagged(self):
+        unit = checked("""
+            struct xpv { long len; void (*magic)(void); };
+            long f(void *any) {
+                return ((struct xpv *)any)->len;
+            }
+        """)
+        assert unit.casts[0].member_nonfptr
+
+    def test_fptr_field_access_not_nf(self):
+        unit = checked("""
+            struct xpv { long len; void (*magic)(void); };
+            void f(void *any) {
+                ((struct xpv *)any)->magic();
+            }
+        """)
+        assert not unit.casts[0].member_nonfptr
+
+
+class TestErrors:
+    def test_undeclared_identifier(self):
+        with pytest.raises(TypeError_):
+            checked("int f(void) { return zzz; }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(TypeError_):
+            checked("int g(int a) { return a; } int f(void) "
+                    "{ return g(1, 2); }")
+
+    def test_call_of_non_function(self):
+        with pytest.raises(TypeError_):
+            checked("int f(int x) { return x(1); }")
+
+    def test_assign_to_rvalue(self):
+        with pytest.raises(TypeError_):
+            checked("void f(int x) { x + 1 = 3; }")
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(TypeError_):
+            checked("int f(int x) { return *x; }")
+
+    def test_unknown_member(self):
+        with pytest.raises(TypeError_):
+            checked("struct s { int a; }; int f(struct s *p) "
+                    "{ return p->b; }")
+
+    def test_conflicting_redeclaration(self):
+        with pytest.raises(TypeError_):
+            checked("int g(int); long g(int);")
+
+    def test_redeclared_local(self):
+        with pytest.raises(TypeError_):
+            checked("void f(void) { int a; int a; }")
+
+    def test_void_return_with_value(self):
+        with pytest.raises(TypeError_):
+            checked("void f(void) { return 3; }")
+
+    def test_struct_condition_rejected(self):
+        with pytest.raises(TypeError_):
+            checked("struct s { int a; }; void f(struct s x) "
+                    "{ if (x) { } }")

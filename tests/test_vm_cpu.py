@@ -1,0 +1,247 @@
+"""Tests for the CPU interpreter: instruction semantics and faults."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CfiViolation, InvalidInstruction, MemoryFault, \
+    VMError
+from repro.isa.assembler import AsmInstr, Label, LabelRef, assemble
+from repro.isa.instructions import Op
+from repro.isa.registers import Reg
+from repro.vm.cpu import CPU, ProgramExit
+from repro.vm.memory import Memory, PAGE_SIZE, TableMemory
+
+CODE = 0x10000
+DATA = 0x20000
+STACK = 0x30000
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def run_instrs(items, regs=None, steps=64):
+    """Assemble items at CODE, run until HLT-free end or `steps`."""
+    out = assemble(list(items) + [AsmInstr(Op.SYSCALL, ())], base=CODE)
+    mem = Memory()
+    mem.map(CODE, len(out.code) + PAGE_SIZE, readable=True, executable=True)
+    mem.host_write(CODE, out.code)
+    mem.map(DATA, PAGE_SIZE, readable=True, writable=True)
+    mem.map(STACK, PAGE_SIZE, readable=True, writable=True)
+
+    def handler(cpu):
+        raise ProgramExit(0)
+
+    cpu = CPU(mem, TableMemory(), syscall_handler=handler)
+    cpu.rip = CODE
+    cpu.regs[Reg.RSP] = STACK + PAGE_SIZE - 16
+    for index, value in (regs or {}).items():
+        cpu.regs[index] = value & _MASK
+    cpu.run(max_steps=steps)
+    return cpu
+
+
+def binop(op, a, b):
+    cpu = run_instrs([AsmInstr(op, (Reg.RAX, Reg.RBX))],
+                     regs={Reg.RAX: a, Reg.RBX: b})
+    return cpu.regs[Reg.RAX]
+
+
+class TestArithmetic:
+    @given(st.integers(0, _MASK), st.integers(0, _MASK))
+    def test_add_sub_wrap(self, a, b):
+        assert binop(Op.ADD_RR, a, b) == (a + b) & _MASK
+        assert binop(Op.SUB_RR, a, b) == (a - b) & _MASK
+
+    def test_signed_multiplication(self):
+        assert binop(Op.IMUL_RR, -3 & _MASK, 7) == (-21) & _MASK
+
+    @given(st.integers(-1000, 1000), st.integers(-100, 100))
+    def test_division_truncates_toward_zero(self, a, b):
+        if b == 0:
+            return
+        assert binop(Op.IDIV_RR, a & _MASK, b & _MASK) == \
+            int(a / b) & _MASK
+        # C semantics: (a/b)*b + a%b == a
+        mod = binop(Op.IMOD_RR, a & _MASK, b & _MASK)
+        div = binop(Op.IDIV_RR, a & _MASK, b & _MASK)
+        signed = lambda v: v - (1 << 64) if v >> 63 else v
+        assert signed(div) * b + signed(mod) == a
+
+    def test_division_by_zero_faults(self):
+        with pytest.raises(VMError):
+            binop(Op.IDIV_RR, 1, 0)
+
+    def test_logical_vs_arithmetic_shift(self):
+        assert binop(Op.SHR_RR, -8 & _MASK, 1) == (-8 & _MASK) >> 1
+        assert binop(Op.SAR_RR, -8 & _MASK, 1) == (-4) & _MASK
+
+    def test_neg_not(self):
+        cpu = run_instrs([AsmInstr(Op.NEG, (Reg.RAX,))], regs={Reg.RAX: 5})
+        assert cpu.regs[Reg.RAX] == (-5) & _MASK
+        cpu = run_instrs([AsmInstr(Op.NOT, (Reg.RAX,))], regs={Reg.RAX: 0})
+        assert cpu.regs[Reg.RAX] == _MASK
+
+    def test_movzx32_clears_upper(self):
+        cpu = run_instrs([AsmInstr(Op.MOVZX32, (Reg.RAX,))],
+                         regs={Reg.RAX: 0x1234567890ABCDEF})
+        assert cpu.regs[Reg.RAX] == 0x90ABCDEF
+
+
+class TestFloats:
+    def test_float_arithmetic(self):
+        a = struct.unpack("<Q", struct.pack("<d", 2.5))[0]
+        b = struct.unpack("<Q", struct.pack("<d", 4.0))[0]
+        result = binop(Op.FMUL_RR, a, b)
+        assert struct.unpack("<d", struct.pack("<Q", result))[0] == 10.0
+
+    def test_conversions(self):
+        cpu = run_instrs([AsmInstr(Op.CVTSI2F, (Reg.RAX,)),
+                          AsmInstr(Op.CVTF2SI, (Reg.RAX,))],
+                         regs={Reg.RAX: (-7) & _MASK})
+        assert cpu.regs[Reg.RAX] == (-7) & _MASK
+
+    def test_float_division_by_zero_faults(self):
+        zero = struct.unpack("<Q", struct.pack("<d", 0.0))[0]
+        one = struct.unpack("<Q", struct.pack("<d", 1.0))[0]
+        with pytest.raises(VMError):
+            binop(Op.FDIV_RR, one, zero)
+
+
+class TestMemoryOps:
+    def test_store_load_widths(self):
+        items = [
+            AsmInstr(Op.MOV_RI, (Reg.RBX, DATA)),
+            AsmInstr(Op.MOV_RI, (Reg.RAX, 0x11223344AABBCCDD)),
+            AsmInstr(Op.STORE64, (Reg.RBX, 0, Reg.RAX)),
+            AsmInstr(Op.STORE32, (Reg.RBX, 16, Reg.RAX)),
+            AsmInstr(Op.STORE16, (Reg.RBX, 32, Reg.RAX)),
+            AsmInstr(Op.STORE8, (Reg.RBX, 48, Reg.RAX)),
+            AsmInstr(Op.LOAD64, (Reg.R8, Reg.RBX, 0)),
+            AsmInstr(Op.LOAD32, (Reg.R9, Reg.RBX, 16)),
+            AsmInstr(Op.LOAD16, (Reg.R10, Reg.RBX, 32)),
+            AsmInstr(Op.LOAD8, (Reg.R11, Reg.RBX, 48)),
+        ]
+        cpu = run_instrs(items)
+        assert cpu.regs[Reg.R8] == 0x11223344AABBCCDD
+        assert cpu.regs[Reg.R9] == 0xAABBCCDD
+        assert cpu.regs[Reg.R10] == 0xCCDD
+        assert cpu.regs[Reg.R11] == 0xDD
+
+    def test_push_pop(self):
+        items = [AsmInstr(Op.MOV_RI, (Reg.RAX, 42)),
+                 AsmInstr(Op.PUSH, (Reg.RAX,)),
+                 AsmInstr(Op.POP, (Reg.RBX,))]
+        cpu = run_instrs(items)
+        assert cpu.regs[Reg.RBX] == 42
+
+    def test_lea(self):
+        cpu = run_instrs([AsmInstr(Op.LEA, (Reg.RAX, Reg.RBX, -24))],
+                         regs={Reg.RBX: 1000})
+        assert cpu.regs[Reg.RAX] == 976
+
+
+class TestControlFlow:
+    def test_conditional_jumps(self):
+        # if (rax < rbx) r8 = 1 else r8 = 2, signed
+        items = [
+            AsmInstr(Op.CMP_RR, (Reg.RAX, Reg.RBX)),
+            AsmInstr(Op.JL, (LabelRef("less"),)),
+            AsmInstr(Op.MOV_RI, (Reg.R8, 2)),
+            AsmInstr(Op.JMP, (LabelRef("end"),)),
+            Label("less"),
+            AsmInstr(Op.MOV_RI, (Reg.R8, 1)),
+            Label("end"),
+        ]
+        taken = run_instrs(items, regs={Reg.RAX: (-1) & _MASK, Reg.RBX: 0})
+        assert taken.regs[Reg.R8] == 1
+        untaken = run_instrs(items, regs={Reg.RAX: 5, Reg.RBX: 0})
+        assert untaken.regs[Reg.R8] == 2
+
+    def test_unsigned_comparison(self):
+        items = [
+            AsmInstr(Op.CMP_RR, (Reg.RAX, Reg.RBX)),
+            AsmInstr(Op.JB, (LabelRef("below"),)),
+            AsmInstr(Op.MOV_RI, (Reg.R8, 0)),
+            AsmInstr(Op.JMP, (LabelRef("end"),)),
+            Label("below"),
+            AsmInstr(Op.MOV_RI, (Reg.R8, 1)),
+            Label("end"),
+        ]
+        # -1 unsigned is huge, so NOT below 0.
+        cpu = run_instrs(items, regs={Reg.RAX: (-1) & _MASK, Reg.RBX: 0})
+        assert cpu.regs[Reg.R8] == 0
+
+    def test_call_ret(self):
+        items = [
+            AsmInstr(Op.CALL, (LabelRef("f"),)),
+            AsmInstr(Op.JMP, (LabelRef("end"),)),
+            Label("f"),
+            AsmInstr(Op.MOV_RI, (Reg.R8, 7)),
+            AsmInstr(Op.RET, ()),
+            Label("end"),
+        ]
+        cpu = run_instrs(items)
+        assert cpu.regs[Reg.R8] == 7
+
+    def test_indirect_jump(self):
+        items = [
+            AsmInstr(Op.MOV_RI, (Reg.RCX, LabelRef("t"))),
+            AsmInstr(Op.JMP_R, (Reg.RCX,)),
+            AsmInstr(Op.MOV_RI, (Reg.R8, 1)),  # skipped
+            Label("t"),
+            AsmInstr(Op.MOV_RI, (Reg.R9, 2)),
+        ]
+        cpu = run_instrs(items)
+        assert cpu.regs[Reg.R8] == 0
+        assert cpu.regs[Reg.R9] == 2
+
+
+class TestFaults:
+    def test_hlt_raises_cfi_violation(self):
+        with pytest.raises(CfiViolation) as info:
+            run_instrs([AsmInstr(Op.HLT, ())])
+        assert info.value.branch_address == CODE
+
+    def test_hlt_reason_depends_on_target_id(self):
+        with pytest.raises(CfiViolation) as invalid:
+            run_instrs([AsmInstr(Op.HLT, ())], regs={Reg.RSI: 0})
+        assert "invalid target" in invalid.value.reason
+        with pytest.raises(CfiViolation) as mismatch:
+            run_instrs([AsmInstr(Op.HLT, ())], regs={Reg.RSI: 1})
+        assert "mismatch" in mismatch.value.reason
+
+    def test_execute_nonexecutable_faults(self):
+        items = [AsmInstr(Op.MOV_RI, (Reg.RCX, DATA)),
+                 AsmInstr(Op.JMP_R, (Reg.RCX,))]
+        with pytest.raises(MemoryFault):
+            run_instrs(items)
+
+    def test_undecodable_bytes_fault(self):
+        mem = Memory()
+        mem.map(CODE, PAGE_SIZE, readable=True, executable=True)
+        mem.host_write(CODE, b"\xfe\xfe")
+        cpu = CPU(mem, TableMemory())
+        cpu.rip = CODE
+        with pytest.raises(InvalidInstruction):
+            cpu.step()
+
+    def test_step_limit_enforced(self):
+        items = [Label("spin"), AsmInstr(Op.JMP, (LabelRef("spin"),))]
+        with pytest.raises(VMError):
+            run_instrs(items, steps=100)
+
+
+class TestCycleModel:
+    def test_cycles_accumulate_costs(self):
+        cpu = run_instrs([AsmInstr(Op.NOP, ()),
+                          AsmInstr(Op.MOV_RI, (Reg.RAX, 1))])
+        # NOP costs 0 (superscalar absorption), MOV 1, SYSCALL 50.
+        assert cpu.cycles == 0 + 1 + 50
+        assert cpu.instructions == 3
+
+    def test_snapshot_contains_state(self):
+        cpu = run_instrs([AsmInstr(Op.MOV_RI, (Reg.RAX, 9))])
+        snap = cpu.snapshot()
+        assert snap["regs"]["%rax"] == 9
+        assert snap["instructions"] == 2

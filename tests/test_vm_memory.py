@@ -1,0 +1,133 @@
+"""Tests for paged memory, protections and the table region."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryFault
+from repro.vm.memory import (
+    CODE_LIMIT,
+    Memory,
+    PAGE_SIZE,
+    TableMemory,
+)
+
+
+@pytest.fixture()
+def memory():
+    mem = Memory()
+    mem.map(0x10000, 2 * PAGE_SIZE, readable=True, writable=True)
+    return mem
+
+
+class TestAccess:
+    def test_read_write_roundtrip(self, memory):
+        memory.write_u64(0x10008, 0x1122334455667788)
+        assert memory.read_u64(0x10008) == 0x1122334455667788
+        memory.write_u32(0x10100, 0xCAFEBABE)
+        assert memory.read_u32(0x10100) == 0xCAFEBABE
+        memory.write_u8(0x10200, 0xAB)
+        assert memory.read_u8(0x10200) == 0xAB
+
+    def test_cross_page_access(self, memory):
+        address = 0x10000 + PAGE_SIZE - 4
+        memory.write_u64(address, 0x0102030405060708)
+        assert memory.read_u64(address) == 0x0102030405060708
+
+    def test_unmapped_read_faults(self, memory):
+        with pytest.raises(MemoryFault):
+            memory.read_u64(0x90000)
+
+    def test_write_to_readonly_faults(self):
+        mem = Memory()
+        mem.map(0x10000, PAGE_SIZE, readable=True, writable=False)
+        with pytest.raises(MemoryFault):
+            mem.write_u8(0x10000, 1)
+        assert mem.read_u8(0x10000) == 0
+
+    def test_unaligned_map_rejected(self):
+        with pytest.raises(MemoryFault):
+            Memory().map(0x10001, 100)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFFFFFFFFFF))
+    def test_values_masked_to_64_bits(self, value):
+        mem = Memory()
+        mem.map(0x10000, PAGE_SIZE, writable=True)
+        mem.write_u64(0x10000, value)
+        assert mem.read_u64(0x10000) == value & 0xFFFFFFFFFFFFFFFF
+
+
+class TestProtection:
+    def test_protect_changes_flags(self, memory):
+        memory.protect(0x10000, PAGE_SIZE, readable=True, writable=False)
+        with pytest.raises(MemoryFault):
+            memory.write_u8(0x10000, 1)
+        # second page unaffected
+        memory.write_u8(0x10000 + PAGE_SIZE, 1)
+
+    def test_protect_unmapped_faults(self, memory):
+        with pytest.raises(MemoryFault):
+            memory.protect(0x50000, PAGE_SIZE)
+
+    def test_host_access_bypasses_protection(self):
+        mem = Memory()
+        mem.map(0x10000, PAGE_SIZE, readable=True, writable=False,
+                executable=True)
+        mem.host_write(0x10000, b"\x01\x02")
+        assert mem.host_read(0x10000, 2) == b"\x01\x02"
+
+    def test_fetch_requires_executable(self):
+        mem = Memory()
+        mem.map(0x10000, PAGE_SIZE, readable=True, writable=True)
+        with pytest.raises(MemoryFault):
+            mem.fetch(0x10000, 4)
+        mem.protect(0x10000, PAGE_SIZE, readable=True, executable=True)
+        assert mem.fetch(0x10000, 4) == b"\x00" * 4
+
+    def test_is_queries(self, memory):
+        assert memory.is_mapped(0x10000)
+        assert memory.is_writable(0x10000)
+        assert not memory.is_executable(0x10000)
+        assert not memory.is_mapped(0x99000)
+
+
+class TestTableMemory:
+    def test_tary_roundtrip(self):
+        tables = TableMemory()
+        tables.write_tary(0x100, 0xDEADBEE1)
+        assert tables.read_tary(0x100) == 0xDEADBEE1
+
+    def test_bary_roundtrip(self):
+        tables = TableMemory()
+        tables.write_bary(8, 0x12345671)
+        assert tables.read_bary(8) == 0x12345671
+
+    def test_unwritten_entries_are_zero(self):
+        tables = TableMemory()
+        assert tables.read_tary(0) == 0
+        assert tables.read_bary(0) == 0
+
+    def test_out_of_range_tary_read_faults(self):
+        """An out-of-range %gs access segfaults on real hardware —
+        fail-safe, not fail-open."""
+        tables = TableMemory()
+        with pytest.raises(MemoryFault):
+            tables.read_tary(CODE_LIMIT)
+        with pytest.raises(MemoryFault):
+            tables.read_tary(-4)
+
+    def test_unaligned_id_store_rejected(self):
+        tables = TableMemory()
+        with pytest.raises(MemoryFault):
+            tables.write_tary(2, 1)
+        with pytest.raises(MemoryFault):
+            tables.write_bary(6, 1)
+
+    def test_misaligned_read_spans_entries(self):
+        """Unaligned Tary reads see bytes of two adjacent IDs — the
+        reserved-bit scheme relies on this producing invalid words."""
+        from repro.core.idencoding import is_valid_id, pack_id
+        tables = TableMemory()
+        tables.write_tary(0, pack_id(1, 1))
+        tables.write_tary(4, pack_id(2, 1))
+        for offset in (1, 2, 3):
+            assert not is_valid_id(tables.read_tary(offset))
