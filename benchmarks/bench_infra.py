@@ -1,0 +1,58 @@
+"""Infra artifact cache — cold build vs warm rebuild of the campaign.
+
+Times a cold ``build_program`` sweep (compile + instrument + link every
+module) against a warm sweep through the same cache, for the default
+instances over the benchmark subset.  The claim under test is the
+"instrument once, reuse across programs" economics of ``.mcfo``
+caching: the warm pass must be all hits and never recompile.
+
+Assertions are on cache statistics, not wall time: timing varies with
+load, but hits/misses are deterministic.
+"""
+
+import tempfile
+from pathlib import Path
+
+from benchmarks.conftest import selected_benchmarks, write_result
+from repro.infra.cache import ArtifactCache
+from repro.infra.campaign import build_program
+
+ARCHS = ("x64",)
+MCFI = (False, True)
+
+
+def _sweep(cache):
+    for name in selected_benchmarks():
+        for arch in ARCHS:
+            for mcfi in MCFI:
+                build_program(name, arch, mcfi, cache=cache)
+
+
+def test_infra_cache_warm_rebuild(benchmark):
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ArtifactCache(Path(tmp) / "cache")
+        _sweep(cache)  # cold: populate
+        cold = cache.stats.snapshot()
+        assert cold.misses > 0 and cold.stores > 0
+
+        def warm():
+            _sweep(cache)
+
+        benchmark.pedantic(warm, rounds=1, iterations=1)
+        delta = cache.stats.delta(cold)
+        assert delta.misses == 0
+        assert delta.hits >= len(selected_benchmarks()) * len(MCFI)
+
+        counts = cache.entry_count()
+        lines = [
+            "infra artifact cache, "
+            f"{len(selected_benchmarks())} benchmarks x "
+            f"{{native, mcfi}} x {ARCHS}",
+            f"cold sweep: {cold.hits} hits / {cold.misses} misses / "
+            f"{cold.stores} stores",
+            f"warm sweep: {delta.hits} hits / {delta.misses} misses "
+            f"(hit rate {delta.hit_rate:.0%})",
+            f"entries: {counts['objects']} objects, "
+            f"{counts['programs']} programs",
+        ]
+        write_result("infra_cache", "\n".join(lines))

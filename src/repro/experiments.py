@@ -20,7 +20,12 @@ prints and EXPERIMENTS.md records:
 ========================  =================================================
 
 Compiled programs are cached per (benchmark, arch, mcfi) so that test
-and benchmark runs pay the TinyC->SimISA pipeline once.
+and benchmark runs pay the TinyC->SimISA pipeline once.  Builds route
+through :func:`repro.infra.campaign.build_program`: when an artifact
+cache is configured (``--cache-dir`` on the CLIs, or ``REPRO_CACHE_DIR``
+in the environment), each module is compiled and instrumented exactly
+once per configuration *across processes and invocations* and reused
+from its ``.mcfo``; without one the build is the plain serial pipeline.
 """
 
 from __future__ import annotations
@@ -43,7 +48,6 @@ from repro.linker.static_linker import LinkedProgram
 from repro.metrics.air import AirResult, air_table
 from repro.metrics.overhead import OverheadResult, SpaceResult
 from repro.runtime.runtime import Runtime, RunResult
-from repro.toolchain import compile_and_link
 from repro.workloads.spec import BENCHMARKS, Workload, workload
 
 ARCHS = ("x32", "x64")
@@ -53,16 +57,25 @@ _PROGRAM_CACHE: Dict[Tuple[str, str, bool], LinkedProgram] = {}
 
 def compiled(name: str, arch: str = "x64", mcfi: bool = True,
              ) -> LinkedProgram:
-    """Compile + statically link one benchmark (cached)."""
+    """Compile + statically link one benchmark (cached in-process and,
+    when an artifact cache is configured, on disk)."""
     key = (name, arch, mcfi)
     if key not in _PROGRAM_CACHE:
-        _PROGRAM_CACHE[key] = compile_and_link(
-            {name: workload(name).source}, arch=arch, mcfi=mcfi)
+        from repro.infra.campaign import build_program
+        _PROGRAM_CACHE[key] = build_program(name, arch=arch, mcfi=mcfi)
     return _PROGRAM_CACHE[key]
 
 
 def run_once(name: str, arch: str = "x64", mcfi: bool = True) -> RunResult:
-    """Load and run one benchmark once (fresh runtime)."""
+    """Load and run one benchmark once (fresh runtime).
+
+    With an artifact cache configured the deterministic outcome is
+    memoized on disk (see :func:`repro.infra.campaign.run_result`);
+    otherwise this is a plain fresh-runtime execution.
+    """
+    from repro.infra.campaign import default_cache, run_result
+    if default_cache() is not None:
+        return run_result(name, arch=arch, mcfi=mcfi)
     return Runtime(compiled(name, arch, mcfi)).run()
 
 

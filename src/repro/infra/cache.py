@@ -1,0 +1,244 @@
+"""Content-addressed artifact cache: compile and instrument once.
+
+The paper's headline property — modules are instrumented once and
+reused across programs (Sec. 1) — is exactly what an experiment
+campaign wants: the twelve SPEC-shaped workloads plus simlibc are
+compiled to ``.mcfo`` object files and linked images *once per compile
+configuration*, then every artifact (Fig. 5/6, Table 3, AIR, gadgets,
+...) and every parallel worker reuses them from disk.
+
+Keys are SHA-256 over the canonical JSON of the entry's provenance:
+module source digest, architecture mode, the ``.mcfo`` format version
+and a compiler/linker tag (bumped on codegen-affecting changes).  A
+source edit, an arch flip or a toolchain upgrade therefore *cannot* hit
+a stale entry — the key changes.  Entry integrity is separately
+verified on read (the object-file digest for ``.mcfo``, a SHA-256 frame
+for linked images); a corrupted entry is evicted and counted, and the
+read degrades to a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+from repro.linker.static_linker import LinkedProgram
+from repro.mir.codegen import RawModule
+from repro.module import objectfile
+from repro.module.objectfile import ObjectFileError
+from repro.runtime.runtime import RunResult
+
+#: Bump when codegen/linker output changes shape: invalidates every key.
+TOOLCHAIN_TAG = "simcc-1"
+
+_PROGRAM_DIGEST_BYTES = 32
+
+
+def source_digest(source: str) -> str:
+    """Stable digest of one module's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache (or an aggregate of many)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"cache_hits": self.hits, "cache_misses": self.misses,
+                "cache_stores": self.stores,
+                "cache_evictions": self.evictions,
+                "cache_hit_rate": round(self.hit_rate, 4)}
+
+    def add(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.evictions += other.evictions
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        return CacheStats(hits=self.hits - earlier.hits,
+                          misses=self.misses - earlier.misses,
+                          stores=self.stores - earlier.stores,
+                          evictions=self.evictions - earlier.evictions)
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.stores,
+                          self.evictions)
+
+
+@dataclass
+class ArtifactCache:
+    """On-disk store of ``.mcfo`` objects and linked program images."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self):
+        self.root = Path(self.root)
+        for sub in ("objects", "programs", "runs"):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+
+    # -- keys --------------------------------------------------------
+
+    @staticmethod
+    def _key(parts: Dict[str, Any]) -> str:
+        canonical = json.dumps(parts, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def object_key(self, name: str, arch: str, source: str) -> str:
+        """Key of one compiled (pre-link) module."""
+        return self._key({
+            "kind": "object",
+            "name": name,
+            "arch": arch,
+            "source": source_digest(source),
+            "format": objectfile.FORMAT_VERSION,
+            "toolchain": TOOLCHAIN_TAG,
+        })
+
+    def program_key(self, arch: str, mcfi: bool,
+                    module_keys: Sequence[str]) -> str:
+        """Key of a linked image, derived from its modules' keys."""
+        return self._key({
+            "kind": "program",
+            "arch": arch,
+            "mcfi": mcfi,
+            "modules": list(module_keys),
+            "toolchain": TOOLCHAIN_TAG,
+        })
+
+    # -- .mcfo objects -----------------------------------------------
+
+    def _object_path(self, key: str) -> Path:
+        return self.root / "objects" / f"{key}.mcfo"
+
+    def get_object(self, key: str, arch: str) -> Optional[RawModule]:
+        """Load a cached module; integrity-checked, evicted if bad."""
+        path = self._object_path(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            raw = objectfile.load(path, expect_arch=arch)
+        except ObjectFileError:
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return raw
+
+    def put_object(self, key: str, raw: RawModule) -> Path:
+        path = objectfile.save(raw, self._object_path(key))
+        self.stats.stores += 1
+        return path
+
+    # -- framed pickle entries (programs, run results) ---------------
+
+    def _get_framed(self, path: Path, expected_cls: type) -> Optional[Any]:
+        """Read a digest-framed pickled entry; evict anything wrong."""
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        blob = path.read_bytes()
+        digest = blob[:_PROGRAM_DIGEST_BYTES]
+        payload = blob[_PROGRAM_DIGEST_BYTES:]
+        if hashlib.sha256(payload).digest() != digest:
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        try:
+            entry = pickle.loads(payload)
+        except Exception:  # noqa: BLE001 — corrupt pickle == corrupt entry
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        if not isinstance(entry, expected_cls):
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def _put_framed(self, path: Path, entry: Any) -> Path:
+        payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        path.write_bytes(hashlib.sha256(payload).digest() + payload)
+        self.stats.stores += 1
+        return path
+
+    # -- linked programs ---------------------------------------------
+
+    def _program_path(self, key: str) -> Path:
+        return self.root / "programs" / f"{key}.img"
+
+    def get_program(self, key: str) -> Optional[LinkedProgram]:
+        return self._get_framed(self._program_path(key), LinkedProgram)
+
+    def put_program(self, key: str, program: LinkedProgram) -> Path:
+        return self._put_framed(self._program_path(key), program)
+
+    # -- deterministic run results -----------------------------------
+    #
+    # The SimVM is fully deterministic: a plain (unscheduled,
+    # attacker-free) run's outcome is a pure function of the linked
+    # image.  Memoizing it is what makes a warm-cache fig5 campaign
+    # fast — the model *cycles* are what the artifact reports, and
+    # those are identical whether re-simulated or replayed.
+
+    def run_key(self, program_key: str, **params: Any) -> str:
+        return self._key({"kind": "run", "program": program_key,
+                          "params": dict(sorted(params.items())),
+                          "toolchain": TOOLCHAIN_TAG})
+
+    def _run_path(self, key: str) -> Path:
+        return self.root / "runs" / f"{key}.res"
+
+    def get_run(self, key: str) -> Optional[RunResult]:
+        return self._get_framed(self._run_path(key), RunResult)
+
+    def put_run(self, key: str, result: RunResult) -> Optional[Path]:
+        if not result.ok:
+            return None  # never memoize faults/violations
+        return self._put_framed(self._run_path(key), result)
+
+    # -- maintenance -------------------------------------------------
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.stats.evictions += 1
+
+    def entry_count(self) -> Dict[str, int]:
+        return {sub: sum(1 for _ in (self.root / sub).iterdir())
+                for sub in ("objects", "programs", "runs")}
+
+    def clear(self) -> None:
+        for sub in ("objects", "programs", "runs"):
+            for path in (self.root / sub).iterdir():
+                path.unlink()
+
+
+def open_cache(root: Union[str, Path, None]) -> Optional[ArtifactCache]:
+    """Open (creating if needed) a cache at ``root``; None passes
+    through so call sites can thread an optional cache untouched."""
+    if root is None:
+        return None
+    return ArtifactCache(Path(root))

@@ -1,0 +1,262 @@
+"""Parallel worker pool for the experiment campaign.
+
+A deliberately small process pool in the spirit of
+instrumentation-infra's parallel builds: every job runs in its own
+forked worker so a crashing or wedged build can never take the
+orchestrator down with it.  The pool gives each job
+
+* a **per-job timeout** — a worker that exceeds it is terminated and
+  the job is marked ``timed_out``;
+* **bounded retries** — exceptions, crashes and timeouts are retried up
+  to ``retries`` extra attempts before the failure is surfaced;
+* **worker-crash capture** — a worker that dies without reporting
+  (``os._exit``, OOM-kill, segfault) yields a ``crashed`` result with
+  its exit code instead of a hang.
+
+Results come back in *submission order* regardless of completion order,
+so a parallel campaign produces byte-identical tables to a serial one.
+
+On platforms without ``fork`` the pool degrades to in-process serial
+execution (retries still honoured; timeouts unenforceable and ignored).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+_POLL_SECONDS = 0.01
+
+
+@dataclass
+class Job:
+    """One unit of work: ``fn(*args, **kwargs)`` in a worker process.
+
+    ``fn``'s return value must be picklable (it crosses a pipe back to
+    the orchestrator); ``fn`` itself need not be, since workers fork.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    id: Optional[str] = None
+    #: seconds before the worker is killed; None = pool default
+    timeout: Optional[float] = None
+    #: extra attempts after the first; None = pool default
+    retries: Optional[int] = None
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job, after all retry attempts."""
+
+    id: str
+    ok: bool
+    value: Any = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    tb: Optional[str] = None
+    attempts: int = 0
+    seconds: float = 0.0
+    timed_out: bool = False
+    crashed: bool = False
+
+    def record(self) -> Dict[str, Any]:
+        """JSONL-friendly summary (value omitted: it may be large)."""
+        return {
+            "job": self.id,
+            "status": "ok" if self.ok else (
+                "timeout" if self.timed_out else
+                "crashed" if self.crashed else "error"),
+            "attempts": self.attempts,
+            "seconds": round(self.seconds, 6),
+            "error": self.error,
+            "error_type": self.error_type,
+        }
+
+
+def _worker(conn, fn, args, kwargs) -> None:
+    try:
+        value = fn(*args, **(kwargs or {}))
+        conn.send(("ok", value))
+    except BaseException as exc:  # noqa: BLE001 — report, don't die silent
+        conn.send(("error", type(exc).__name__, str(exc),
+                   traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+class _Active:
+    """Bookkeeping for one in-flight attempt."""
+
+    def __init__(self, index, job, process, conn, attempt, deadline):
+        self.index = index
+        self.job = job
+        self.process = process
+        self.conn = conn
+        self.attempt = attempt
+        self.deadline = deadline
+        self.started = time.perf_counter()
+
+
+class WorkerPool:
+    """Fan jobs across ``workers`` forked processes.
+
+    ``timeout`` and ``retries`` are defaults a :class:`Job` may
+    override per job.
+    """
+
+    def __init__(self, workers: int = 1, timeout: Optional[float] = None,
+                 retries: int = 0):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = (multiprocessing.get_context("fork")
+                     if "fork" in methods else None)
+
+    # -- public API --------------------------------------------------
+
+    def map(self, fn: Callable[..., Any],
+            argslist: Iterable[tuple]) -> List[JobResult]:
+        """Convenience: one job per args tuple."""
+        return self.run([Job(fn=fn, args=args) for args in argslist])
+
+    def run(self, jobs: Sequence[Job]) -> List[JobResult]:
+        """Run all jobs; results in submission order."""
+        jobs = list(jobs)
+        for i, job in enumerate(jobs):
+            if job.id is None:
+                job.id = f"job-{i}"
+        if self._ctx is None:
+            return [self._run_inline(job) for job in jobs]
+        return self._run_forked(jobs)
+
+    # -- serial fallback ---------------------------------------------
+
+    def _run_inline(self, job: Job) -> JobResult:
+        retries = self.retries if job.retries is None else job.retries
+        start = time.perf_counter()
+        last: Optional[JobResult] = None
+        for attempt in range(1, retries + 2):
+            try:
+                value = job.fn(*job.args, **(job.kwargs or {}))
+                return JobResult(id=job.id, ok=True, value=value,
+                                 attempts=attempt,
+                                 seconds=time.perf_counter() - start)
+            except BaseException as exc:  # noqa: BLE001
+                last = JobResult(id=job.id, ok=False, error=str(exc),
+                                 error_type=type(exc).__name__,
+                                 tb=traceback.format_exc(),
+                                 attempts=attempt,
+                                 seconds=time.perf_counter() - start)
+        return last
+
+    # -- forked execution --------------------------------------------
+
+    def _spawn(self, index: int, job: Job, attempt: int) -> _Active:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker, args=(child_conn, job.fn, job.args, job.kwargs),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        timeout = self.timeout if job.timeout is None else job.timeout
+        deadline = (time.perf_counter() + timeout
+                    if timeout is not None else None)
+        return _Active(index, job, process, parent_conn, attempt, deadline)
+
+    def _reap(self, active: _Active) -> Optional[JobResult]:
+        """Check one in-flight attempt; a result means it finished."""
+        job = active.job
+        elapsed = time.perf_counter() - active.started
+        if active.conn.poll():
+            try:
+                message = active.conn.recv()
+            except (EOFError, OSError):
+                message = None
+            active.process.join(1.0)
+            code = active.process.exitcode
+            self._finish_process(active)
+            if message is None:
+                return JobResult(id=job.id, ok=False, crashed=True,
+                                 error="worker crashed without reporting "
+                                       f"(exit code {code})",
+                                 error_type="WorkerCrash",
+                                 attempts=active.attempt, seconds=elapsed)
+            if message[0] == "ok":
+                return JobResult(id=job.id, ok=True, value=message[1],
+                                 attempts=active.attempt, seconds=elapsed)
+            _, error_type, error, tb = message
+            return JobResult(id=job.id, ok=False, error=error,
+                             error_type=error_type, tb=tb,
+                             attempts=active.attempt, seconds=elapsed)
+        if not active.process.is_alive():
+            code = active.process.exitcode
+            self._finish_process(active)
+            return JobResult(id=job.id, ok=False, crashed=True,
+                             error=f"worker crashed (exit code {code})",
+                             error_type="WorkerCrash",
+                             attempts=active.attempt, seconds=elapsed)
+        if active.deadline is not None and \
+                time.perf_counter() > active.deadline:
+            active.process.terminate()
+            active.process.join(1.0)
+            if active.process.is_alive():
+                active.process.kill()
+                active.process.join(1.0)
+            self._finish_process(active)
+            return JobResult(id=job.id, ok=False, timed_out=True,
+                             error=f"timed out after {elapsed:.1f}s",
+                             error_type="Timeout",
+                             attempts=active.attempt, seconds=elapsed)
+        return None
+
+    @staticmethod
+    def _finish_process(active: _Active) -> None:
+        active.conn.close()
+        active.process.join(1.0)
+        if active.process.is_alive():
+            active.process.kill()
+            active.process.join(1.0)
+        active.process.close()
+
+    def _run_forked(self, jobs: List[Job]) -> List[JobResult]:
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        pending = list(enumerate(jobs))
+        pending.reverse()  # pop() from the front of the submission order
+        active: List[_Active] = []
+        try:
+            while pending or active:
+                while pending and len(active) < self.workers:
+                    index, job = pending.pop()
+                    active.append(self._spawn(index, job, attempt=1))
+                still_running: List[_Active] = []
+                for entry in active:
+                    outcome = self._reap(entry)
+                    if outcome is None:
+                        still_running.append(entry)
+                        continue
+                    retries = (self.retries if entry.job.retries is None
+                               else entry.job.retries)
+                    if not outcome.ok and entry.attempt <= retries:
+                        still_running.append(
+                            self._spawn(entry.index, entry.job,
+                                        attempt=entry.attempt + 1))
+                        continue
+                    outcome.attempts = entry.attempt
+                    results[entry.index] = outcome
+                active = still_running
+                if active:
+                    time.sleep(_POLL_SECONDS)
+        finally:
+            for entry in active:
+                if entry.process.is_alive():
+                    entry.process.kill()
+                    entry.process.join(1.0)
+        return results

@@ -1,0 +1,200 @@
+"""Structured result store: append-only JSONL run records + reporters.
+
+Every build, run and artifact job of a campaign appends one JSON object
+per line to a ``results.jsonl``.  Records are self-describing via their
+``kind`` field:
+
+==============  =====================================================
+``build``       one (target, instance) build: cache hits/misses,
+                seconds, whether the link was served from cache
+``run``         one workload execution: cycles, instructions, retries
+``cfgstats``    Table-3 statistics for one (target, arch)
+``artifact``    one parallel artifact job (fig5, table3, ...) with its
+                per-job wall time and cache delta
+``summary``     end-of-campaign aggregate (wall time, hit rate)
+==============  =====================================================
+
+The reporters regenerate the repo's ``benchmarks/results/*.txt``
+artifact files from stored records — the same formats the benchmark
+suite writes — so a cached parallel campaign and a serial pytest run
+produce interchangeable artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.infra.pool import JobResult
+
+
+class ResultStore:
+    """Append-only JSONL record sink (one campaign, one file)."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        record = {"kind": kind, "ts": round(time.time(), 3)}
+        record.update(fields)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return record
+
+    def append_job(self, result: JobResult,
+                   **extra: Any) -> Dict[str, Any]:
+        """Record one pool job outcome (value omitted)."""
+        fields = result.record()
+        fields.update(extra)
+        return self.append("job", **fields)
+
+    def records(self) -> List[Dict[str, Any]]:
+        return load_records(self.path)
+
+
+def load_records(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    path = Path(path)
+    if not path.exists():
+        return []
+    out: List[Dict[str, Any]] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+def summarize(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Campaign-level aggregate of a record stream."""
+    totals = {"records": 0, "builds": 0, "runs": 0, "failures": 0,
+              "retries": 0, "cache_hits": 0, "cache_misses": 0,
+              "seconds": 0.0}
+    kinds: Dict[str, int] = {}
+    for record in records:
+        totals["records"] += 1
+        kind = record.get("kind", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+        if kind == "build":
+            totals["builds"] += 1
+        elif kind == "run":
+            totals["runs"] += 1
+        if record.get("status") not in (None, "ok"):
+            totals["failures"] += 1
+        attempts = record.get("attempts")
+        if isinstance(attempts, int) and attempts > 1:
+            totals["retries"] += attempts - 1
+        totals["cache_hits"] += record.get("cache_hits", 0) or 0
+        totals["cache_misses"] += record.get("cache_misses", 0) or 0
+        if kind != "summary":
+            totals["seconds"] += record.get("seconds", 0.0) or 0.0
+    lookups = totals["cache_hits"] + totals["cache_misses"]
+    totals["cache_hit_rate"] = (totals["cache_hits"] / lookups
+                                if lookups else 0.0)
+    totals["kinds"] = kinds
+    return totals
+
+
+def render_summary(records: Iterable[Dict[str, Any]]) -> str:
+    t = summarize(records)
+    lines = [
+        f"records      : {t['records']} "
+        f"({', '.join(f'{k}={n}' for k, n in sorted(t['kinds'].items()))})",
+        f"builds/runs  : {t['builds']} / {t['runs']}",
+        f"failures     : {t['failures']} (retries spent: {t['retries']})",
+        f"artifact cache: {t['cache_hits']} hits / "
+        f"{t['cache_misses']} misses "
+        f"({100.0 * t['cache_hit_rate']:.1f}% hit rate)",
+        f"job seconds  : {t['seconds']:.2f} (sum over jobs)",
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Artifact-file reporters (benchmarks/results/*.txt formats)
+# ---------------------------------------------------------------------------
+
+def render_fig5(records: Iterable[Dict[str, Any]],
+                arch: str = "x64") -> Optional[str]:
+    """Rebuild the ``fig5_overhead_<arch>.txt`` table from run records.
+
+    Uses the latest native+mcfi ``run`` record pair per benchmark.
+    """
+    native: Dict[str, Dict[str, Any]] = {}
+    mcfi: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    for record in records:
+        if record.get("kind") != "run" or record.get("arch") != arch:
+            continue
+        if record.get("status") not in (None, "ok"):
+            continue
+        name = record["target"]
+        (mcfi if record.get("mcfi") else native)[name] = record
+        if name not in order:
+            order.append(name)
+    rows = [name for name in order if name in native and name in mcfi]
+    if not rows:
+        return None
+    lines = [f"{'benchmark':12s} {'native cycles':>14s} "
+             f"{'mcfi cycles':>12s} {'overhead':>9s}"]
+    overheads = []
+    for name in rows:
+        n, m = native[name]["cycles"], mcfi[name]["cycles"]
+        pct = 100.0 * (m - n) / n
+        overheads.append(pct)
+        lines.append(f"{name:12s} {n:14d} {m:12d} {pct:8.2f}%")
+    mean = sum(overheads) / len(overheads)
+    lines.append(f"{'average':12s} {'':14s} {'':12s} {mean:8.2f}%")
+    return "\n".join(lines)
+
+
+def render_table3(records: Iterable[Dict[str, Any]]) -> Optional[str]:
+    """Rebuild ``table3_cfg_stats.txt`` from cfgstats records."""
+    stats: Dict[str, Dict[str, Dict[str, int]]] = {}
+    order: List[str] = []
+    for record in records:
+        if record.get("kind") != "cfgstats":
+            continue
+        name, arch = record["target"], record["arch"]
+        stats.setdefault(name, {})[arch] = record
+        if name not in order:
+            order.append(name)
+    rows = [name for name in order
+            if "x32" in stats.get(name, {}) and "x64" in stats[name]]
+    if not rows:
+        return None
+    lines = [f"{'benchmark':12s} {'IBs32':>6s} {'IBTs32':>7s} "
+             f"{'EQCs32':>7s}  {'IBs64':>6s} {'IBTs64':>7s} "
+             f"{'EQCs64':>7s}"]
+    for name in rows:
+        a, b = stats[name]["x32"], stats[name]["x64"]
+        lines.append(f"{name:12s} {a['IBs']:6d} {a['IBTs']:7d} "
+                     f"{a['EQCs']:7d}  {b['IBs']:6d} {b['IBTs']:7d} "
+                     f"{b['EQCs']:7d}")
+    return "\n".join(lines)
+
+
+def regenerate(records: Iterable[Dict[str, Any]],
+               results_dir: Union[str, Path]) -> List[Path]:
+    """Write every artifact file derivable from ``records``."""
+    records = list(records)
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    fig5 = render_fig5(records)
+    if fig5 is not None:
+        path = results_dir / "fig5_overhead_x64.txt"
+        path.write_text(fig5 + "\n", encoding="utf-8")
+        written.append(path)
+    table3 = render_table3(records)
+    if table3 is not None:
+        path = results_dir / "table3_cfg_stats.txt"
+        path.write_text(table3 + "\n", encoding="utf-8")
+        written.append(path)
+    return written

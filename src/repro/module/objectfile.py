@@ -8,8 +8,15 @@ symbolic assembly, metadata and auxiliary type information — saved to a
 ``.mcfo`` object file that any later link or dlopen can consume without
 recompiling, let alone re-instrumenting against the other modules.
 
-Format: an 8-byte magic + format version + SHA-256 integrity digest
-over a pickled :class:`~repro.mir.codegen.RawModule`.  Pickle is an
+Format (v2)::
+
+    MCFOBJ\\0 | version | arch tag | SHA-256 digest | pickled RawModule
+     7 bytes |  1 byte |  1 byte  |    32 bytes    |     payload
+
+The digest covers version, arch tag *and* payload, so a stale object
+file from an older toolchain or one compiled for the other architecture
+mode can never be silently loaded: both are part of the integrity check
+and both produce a specific :class:`ObjectFileError`.  Pickle is an
 implementation choice (the payload is our own dataclasses, never
 untrusted data — the *trust* story for foreign modules is the verifier,
 which re-checks every module at load time regardless of provenance).
@@ -18,42 +25,81 @@ which re-checks every module at load time regardless of provenance).
 from __future__ import annotations
 
 import hashlib
-import io
 import pickle
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.errors import LinkError
 from repro.mir.codegen import RawModule
 
-MAGIC = b"MCFOBJ\x00\x01"
+#: 7-byte magic prefix; the byte after it is the format version.
+MAGIC = b"MCFOBJ\x00"
+#: Bumped whenever the on-disk layout or the pickled payload schema
+#: changes; older files are rejected with a "format version" error.
+FORMAT_VERSION = 2
+
+_ARCH_TAGS = {"x32": 0x20, "x64": 0x40}
+_TAG_ARCHS = {tag: arch for arch, tag in _ARCH_TAGS.items()}
 _DIGEST_BYTES = 32
+_HEADER_BYTES = len(MAGIC) + 2 + _DIGEST_BYTES
 
 
 class ObjectFileError(LinkError):
-    """Raised for malformed, truncated or corrupted object files."""
+    """Raised for malformed, stale, cross-arch or corrupted object
+    files."""
+
+
+def _digest(version: int, arch_tag: int, payload: bytes) -> bytes:
+    return hashlib.sha256(bytes((version, arch_tag)) + payload).digest()
 
 
 def dumps(raw: RawModule) -> bytes:
     """Serialize a compiled module to object-file bytes."""
+    if raw.arch not in _ARCH_TAGS:
+        raise ObjectFileError(f"cannot serialize unknown arch {raw.arch!r}")
+    arch_tag = _ARCH_TAGS[raw.arch]
     payload = pickle.dumps(raw, protocol=pickle.HIGHEST_PROTOCOL)
-    digest = hashlib.sha256(payload).digest()
-    return MAGIC + digest + payload
+    return (MAGIC + bytes((FORMAT_VERSION, arch_tag))
+            + _digest(FORMAT_VERSION, arch_tag, payload) + payload)
 
 
-def loads(blob: bytes) -> RawModule:
-    """Deserialize an object file; verifies magic and integrity."""
-    if len(blob) < len(MAGIC) + _DIGEST_BYTES:
+def loads(blob: bytes, expect_arch: Optional[str] = None) -> RawModule:
+    """Deserialize an object file; verifies magic, format version,
+    architecture mode and integrity.
+
+    ``expect_arch`` asserts the compile configuration: loading an
+    ``x32`` object where ``x64`` is expected (or vice versa) raises
+    instead of handing back a module the link would later choke on.
+    """
+    if len(blob) < _HEADER_BYTES:
         raise ObjectFileError("object file truncated")
     if blob[:len(MAGIC)] != MAGIC:
         raise ObjectFileError("not an MCFI object file (bad magic)")
-    digest = blob[len(MAGIC):len(MAGIC) + _DIGEST_BYTES]
-    payload = blob[len(MAGIC) + _DIGEST_BYTES:]
-    if hashlib.sha256(payload).digest() != digest:
+    version = blob[len(MAGIC)]
+    if version != FORMAT_VERSION:
+        raise ObjectFileError(
+            f"object file format version v{version} is not supported "
+            f"(this toolchain reads v{FORMAT_VERSION}); recompile the "
+            f"module")
+    arch_tag = blob[len(MAGIC) + 1]
+    arch = _TAG_ARCHS.get(arch_tag)
+    if arch is None:
+        raise ObjectFileError(f"unknown arch tag 0x{arch_tag:02x}")
+    if expect_arch is not None and arch != expect_arch:
+        raise ObjectFileError(
+            f"arch mismatch: object file was compiled for {arch}, "
+            f"expected {expect_arch}")
+    digest = blob[len(MAGIC) + 2:_HEADER_BYTES]
+    payload = blob[_HEADER_BYTES:]
+    if _digest(version, arch_tag, payload) != digest:
         raise ObjectFileError("object file corrupted (digest mismatch)")
     raw = pickle.loads(payload)
     if not isinstance(raw, RawModule):
         raise ObjectFileError("object file does not contain a module")
+    if raw.arch != arch:
+        raise ObjectFileError(
+            f"arch mismatch: header says {arch} but the module inside "
+            f"was compiled for {raw.arch}")
     return raw
 
 
@@ -64,13 +110,14 @@ def save(raw: RawModule, path: Union[str, Path]) -> Path:
     return path
 
 
-def load(path: Union[str, Path]) -> RawModule:
+def load(path: Union[str, Path],
+         expect_arch: Optional[str] = None) -> RawModule:
     """Read a compiled module back from disk."""
     try:
         blob = Path(path).read_bytes()
     except OSError as exc:
         raise ObjectFileError(f"cannot read {path}: {exc}") from exc
-    return loads(blob)
+    return loads(blob, expect_arch=expect_arch)
 
 
 def describe(raw: RawModule) -> str:

@@ -1207,3 +1207,10 @@ def workload(name: str) -> Workload:
 
 def all_workloads() -> List[Workload]:
     return [workload(name) for name in BENCHMARKS]
+
+
+def workload_digest(name: str) -> str:
+    """SHA-256 of a workload's source text — the provenance component
+    the :mod:`repro.infra` artifact cache keys compilations by."""
+    import hashlib
+    return hashlib.sha256(workload(name).source.encode("utf-8")).hexdigest()

@@ -1,0 +1,163 @@
+"""Correctness of the content-addressed artifact cache.
+
+The contract under test: identical (source, config) hits; any change
+to source, architecture mode or format version misses; and a corrupted
+entry is evicted and degrades to a miss instead of being served.
+"""
+
+import pytest
+
+from repro.infra.cache import (ArtifactCache, CacheStats, open_cache,
+                               source_digest)
+from repro.infra.targets import target as get_target
+from repro.module import objectfile
+from repro.toolchain import compile_module
+
+SOURCE = """
+    long twice(long x) { return 2 * x; }
+    int main(void) { print_int(twice(21)); return 0; }
+"""
+EDITED_SOURCE = SOURCE.replace("2 * x", "x + x")
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+@pytest.fixture()
+def raw_x64():
+    return compile_module(SOURCE, name="unit", arch="x64")
+
+
+class TestKeys:
+    def test_hit_on_identical_source_and_config(self, cache):
+        assert cache.object_key("unit", "x64", SOURCE) == \
+            cache.object_key("unit", "x64", SOURCE)
+
+    def test_miss_on_source_edit(self, cache):
+        assert cache.object_key("unit", "x64", SOURCE) != \
+            cache.object_key("unit", "x64", EDITED_SOURCE)
+
+    def test_miss_on_arch_flip(self, cache):
+        assert cache.object_key("unit", "x64", SOURCE) != \
+            cache.object_key("unit", "x32", SOURCE)
+
+    def test_program_key_tracks_modules_and_policy(self, cache):
+        keys = [cache.object_key("unit", "x64", SOURCE)]
+        base = cache.program_key("x64", True, keys)
+        assert base != cache.program_key("x64", False, keys)
+        other = [cache.object_key("unit", "x64", EDITED_SOURCE)]
+        assert base != cache.program_key("x64", True, other)
+
+    def test_source_digest_stable(self):
+        assert source_digest(SOURCE) == source_digest(SOURCE)
+        assert source_digest(SOURCE) != source_digest(EDITED_SOURCE)
+
+
+class TestObjectRoundTrip:
+    def test_store_then_hit(self, cache, raw_x64):
+        key = cache.object_key("unit", "x64", SOURCE)
+        assert cache.get_object(key, "x64") is None  # cold: miss
+        cache.put_object(key, raw_x64)
+        loaded = cache.get_object(key, "x64")
+        assert loaded is not None
+        assert loaded.name == raw_x64.name
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_arch_flip_is_a_miss(self, cache, raw_x64):
+        cache.put_object(cache.object_key("unit", "x64", SOURCE), raw_x64)
+        key32 = cache.object_key("unit", "x32", SOURCE)
+        assert cache.get_object(key32, "x32") is None
+
+    def test_source_edit_is_a_miss(self, cache, raw_x64):
+        cache.put_object(cache.object_key("unit", "x64", SOURCE), raw_x64)
+        edited = cache.object_key("unit", "x64", EDITED_SOURCE)
+        assert cache.get_object(edited, "x64") is None
+
+    def test_cross_arch_entry_never_served(self, cache, raw_x64):
+        """An x64 object planted under an x32 key (torn cache dir,
+        manual tampering) is rejected by the arch check and evicted."""
+        key32 = cache.object_key("unit", "x32", SOURCE)
+        cache.put_object(key32, raw_x64)  # wrong: x64 module at x32 key
+        assert cache.get_object(key32, "x32") is None
+        assert cache.stats.evictions == 1
+
+    def test_corrupted_entry_evicted(self, cache, raw_x64):
+        key = cache.object_key("unit", "x64", SOURCE)
+        path = cache.put_object(key, raw_x64)
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert cache.get_object(key, "x64") is None
+        assert cache.stats.evictions == 1
+        assert not path.exists()
+        # and the slot is reusable
+        cache.put_object(key, raw_x64)
+        assert cache.get_object(key, "x64") is not None
+
+    def test_stale_format_version_evicted(self, cache, raw_x64):
+        """A .mcfo from an older toolchain is rejected and evicted."""
+        key = cache.object_key("unit", "x64", SOURCE)
+        path = cache.put_object(key, raw_x64)
+        blob = bytearray(path.read_bytes())
+        blob[len(objectfile.MAGIC)] = 1  # rewrite version byte to v1
+        path.write_bytes(bytes(blob))
+        assert cache.get_object(key, "x64") is None
+        assert cache.stats.evictions == 1
+
+
+class TestProgramAndRunEntries:
+    def test_program_round_trip_and_corruption(self, cache):
+        from repro.infra.campaign import build_program
+        program = build_program("libquantum", "x64", True, cache=cache)
+        keys = [cache.object_key(n, "x64", s) for n, s in
+                get_target("libquantum").sources().items()]
+        key = cache.program_key("x64", True, keys)
+        fetched = cache.get_program(key)
+        assert fetched is not None
+        assert bytes(fetched.module.code) == bytes(program.module.code)
+        path = cache._program_path(key)
+        blob = bytearray(path.read_bytes())
+        blob[10] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert cache.get_program(key) is None
+        assert not path.exists()
+
+    def test_faulting_run_never_memoized(self, cache):
+        from repro.runtime.runtime import RunResult
+        bad = RunResult(fault=RuntimeError("boom"))
+        assert cache.put_run(cache.run_key("k"), bad) is None
+        assert cache.get_run(cache.run_key("k")) is None
+
+    def test_ok_run_round_trip(self, cache):
+        from repro.runtime.runtime import RunResult
+        good = RunResult(exit_code=0, output=b"checksum 1", cycles=123,
+                         instructions=45)
+        key = cache.run_key("prog-key")
+        cache.put_run(key, good)
+        fetched = cache.get_run(key)
+        assert fetched.cycles == 123 and fetched.output == b"checksum 1"
+
+    def test_run_key_depends_on_program_and_params(self, cache):
+        assert cache.run_key("a") != cache.run_key("b")
+        assert cache.run_key("a", seed=1) != cache.run_key("a", seed=2)
+
+
+class TestStats:
+    def test_hit_rate_and_delta(self):
+        stats = CacheStats(hits=9, misses=1)
+        assert stats.hit_rate == 0.9
+        later = CacheStats(hits=12, misses=2)
+        delta = later.delta(stats)
+        assert delta.hits == 3 and delta.misses == 1
+
+    def test_open_cache_none_passthrough(self, tmp_path):
+        assert open_cache(None) is None
+        assert open_cache(tmp_path / "c") is not None
+
+    def test_entry_count(self, cache, raw_x64):
+        cache.put_object(cache.object_key("unit", "x64", SOURCE), raw_x64)
+        counts = cache.entry_count()
+        assert counts["objects"] == 1
+        assert counts["programs"] == 0

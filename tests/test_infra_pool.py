@@ -1,0 +1,203 @@
+"""Failure-path coverage for the campaign worker pool.
+
+All fault injection is deterministic: flaky workers count their
+attempts in a file (worker processes share no memory with the
+orchestrator), crashes use ``os._exit``, and timeouts use a sleep far
+longer than the configured limit.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.infra.pool import Job, JobResult, WorkerPool
+from repro.infra.results import ResultStore
+
+
+def _square(x):
+    return x * x
+
+
+def _raise_value_error():
+    raise ValueError("injected failure")
+
+
+def _hard_crash():
+    os._exit(23)  # no exception, no report: a real worker crash
+
+
+def _sleep_forever():
+    time.sleep(600)
+
+
+def _flaky(counter_path, fail_attempts):
+    """Fail deterministically for the first ``fail_attempts`` calls."""
+    attempt = 1
+    if os.path.exists(counter_path):
+        with open(counter_path) as fh:
+            attempt = int(fh.read()) + 1
+    with open(counter_path, "w") as fh:
+        fh.write(str(attempt))
+    if attempt <= fail_attempts:
+        raise RuntimeError(f"injected failure on attempt {attempt}")
+    return f"succeeded on attempt {attempt}"
+
+
+class TestHappyPath:
+    def test_results_in_submission_order(self):
+        pool = WorkerPool(workers=4)
+        results = pool.map(_square, [(i,) for i in range(10)])
+        assert [r.value for r in results] == [i * i for i in range(10)]
+        assert all(r.ok and r.attempts == 1 for r in results)
+
+    def test_more_jobs_than_workers(self):
+        pool = WorkerPool(workers=2)
+        results = pool.map(_square, [(i,) for i in range(7)])
+        assert [r.value for r in results] == [i * i for i in range(7)]
+
+    def test_job_ids_default_and_explicit(self):
+        pool = WorkerPool(workers=2)
+        results = pool.run([Job(fn=_square, args=(2,)),
+                            Job(fn=_square, args=(3,), id="named")])
+        assert results[0].id == "job-0"
+        assert results[1].id == "named"
+
+
+class TestWorkerException:
+    def test_exception_surfaces_with_type_and_traceback(self):
+        pool = WorkerPool(workers=2)
+        [result] = pool.run([Job(fn=_raise_value_error)])
+        assert not result.ok
+        assert result.error_type == "ValueError"
+        assert "injected failure" in result.error
+        assert "Traceback" in result.tb
+        assert not result.timed_out and not result.crashed
+
+    def test_one_failure_does_not_poison_others(self):
+        pool = WorkerPool(workers=3)
+        results = pool.run([Job(fn=_square, args=(2,)),
+                            Job(fn=_raise_value_error),
+                            Job(fn=_square, args=(5,))])
+        assert results[0].value == 4
+        assert not results[1].ok
+        assert results[2].value == 25
+
+
+class TestTimeout:
+    def test_per_job_timeout_kills_the_worker(self):
+        pool = WorkerPool(workers=2)
+        start = time.perf_counter()
+        [result] = pool.run(
+            [Job(fn=_sleep_forever, timeout=0.5, retries=0)])
+        assert time.perf_counter() - start < 30
+        assert not result.ok
+        assert result.timed_out
+        assert result.error_type == "Timeout"
+
+    def test_pool_default_timeout(self):
+        pool = WorkerPool(workers=2, timeout=0.5)
+        [result] = pool.run([Job(fn=_sleep_forever)])
+        assert result.timed_out
+
+
+class TestCrashCapture:
+    def test_crash_reported_not_hung(self):
+        pool = WorkerPool(workers=2)
+        [result] = pool.run([Job(fn=_hard_crash, retries=0)])
+        assert not result.ok
+        assert result.crashed
+        assert result.error_type == "WorkerCrash"
+        assert "23" in result.error
+
+
+class TestRetries:
+    def test_retry_then_succeed(self, tmp_path):
+        counter = str(tmp_path / "attempts")
+        pool = WorkerPool(workers=2)
+        [result] = pool.run([Job(fn=_flaky, args=(counter, 2),
+                                 retries=2)])
+        assert result.ok
+        assert result.attempts == 3
+        assert result.value == "succeeded on attempt 3"
+
+    def test_retry_exhausted(self, tmp_path):
+        counter = str(tmp_path / "attempts")
+        pool = WorkerPool(workers=2)
+        [result] = pool.run([Job(fn=_flaky, args=(counter, 99),
+                                 retries=1)])
+        assert not result.ok
+        assert result.attempts == 2
+        assert "attempt 2" in result.error
+
+    def test_crash_is_retried_too(self, tmp_path):
+        counter = str(tmp_path / "attempts")
+
+        def crash_once(path):
+            if not os.path.exists(path):
+                with open(path, "w") as fh:
+                    fh.write("1")
+                os._exit(9)
+            return "recovered"
+
+        pool = WorkerPool(workers=2, retries=1)
+        [result] = pool.run([Job(fn=crash_once, args=(counter,))])
+        assert result.ok and result.attempts == 2
+
+
+class TestJsonlSurfacing:
+    def test_retry_exhausted_lands_in_jsonl_record(self, tmp_path):
+        """The ISSUE's contract: retry-exhausted failures are visible
+        in the structured result store, attempts included."""
+        counter = str(tmp_path / "attempts")
+        store = ResultStore(tmp_path / "results.jsonl")
+        pool = WorkerPool(workers=2)
+        [result] = pool.run([Job(fn=_flaky, args=(counter, 99),
+                                 retries=1, id="flaky-cell")])
+        store.append_job(result, target="flaky-cell")
+
+        [record] = [json.loads(line) for line in
+                    (tmp_path / "results.jsonl").read_text().splitlines()]
+        assert record["kind"] == "job"
+        assert record["job"] == "flaky-cell"
+        assert record["status"] == "error"
+        assert record["attempts"] == 2
+        assert "attempt 2" in record["error"]
+
+    def test_timeout_and_crash_statuses(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        pool = WorkerPool(workers=2)
+        results = pool.run([
+            Job(fn=_sleep_forever, timeout=0.5, retries=0, id="slow"),
+            Job(fn=_hard_crash, retries=0, id="crashy"),
+        ])
+        for result in results:
+            store.append_job(result)
+        by_job = {r["job"]: r for r in store.records()}
+        assert by_job["slow"]["status"] == "timeout"
+        assert by_job["crashy"]["status"] == "crashed"
+
+
+class TestInlineFallback:
+    def test_inline_mode_without_fork(self):
+        pool = WorkerPool(workers=2, retries=1)
+        pool._ctx = None  # simulate a platform without fork
+        results = pool.run([Job(fn=_square, args=(6,)),
+                            Job(fn=_raise_value_error)])
+        assert results[0].ok and results[0].value == 36
+        assert not results[1].ok
+        assert results[1].error_type == "ValueError"
+        assert results[1].attempts == 2  # retries honoured inline
+
+
+class TestValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+
+    def test_job_result_record_shape(self):
+        record = JobResult(id="x", ok=True, attempts=1,
+                           seconds=0.5).record()
+        assert record["status"] == "ok"
+        assert record["job"] == "x"

@@ -64,9 +64,39 @@ class TestObjectFiles:
         import hashlib
         import pickle
         payload = pickle.dumps({"not": "a module"})
-        blob = objectfile.MAGIC + hashlib.sha256(payload).digest() + \
-            payload
+        header = bytes((objectfile.FORMAT_VERSION, 0x40))
+        blob = (objectfile.MAGIC + header
+                + hashlib.sha256(header + payload).digest() + payload)
         with pytest.raises(ObjectFileError, match="module"):
+            objectfile.loads(blob)
+
+    def test_old_format_version_rejected(self, raw_module):
+        """A v1 .mcfo (no arch tag) must never be silently loaded."""
+        blob = bytearray(objectfile.dumps(raw_module))
+        blob[len(objectfile.MAGIC)] = 1  # pretend format version 1
+        with pytest.raises(ObjectFileError, match="format version"):
+            objectfile.loads(bytes(blob))
+
+    def test_cross_arch_load_rejected(self, raw_module):
+        blob = objectfile.dumps(raw_module)  # compiled for x64
+        with pytest.raises(ObjectFileError, match="arch mismatch"):
+            objectfile.loads(blob, expect_arch="x32")
+
+    def test_matching_arch_accepted(self, raw_module):
+        loaded = objectfile.loads(objectfile.dumps(raw_module),
+                                  expect_arch="x64")
+        assert loaded.arch == "x64"
+
+    def test_header_payload_arch_disagreement_rejected(self, raw_module):
+        """A header claiming x32 over an x64 payload is tampering."""
+        import hashlib
+        import pickle
+        payload = pickle.dumps(raw_module,
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        header = bytes((objectfile.FORMAT_VERSION, 0x20))  # x32 tag
+        blob = (objectfile.MAGIC + header
+                + hashlib.sha256(header + payload).digest() + payload)
+        with pytest.raises(ObjectFileError, match="arch mismatch"):
             objectfile.loads(blob)
 
     def test_describe(self, raw_module):
