@@ -85,3 +85,35 @@ def same_version(left: int, right: int) -> bool:
 def bump_version(version: int) -> int:
     """Advance the global version, wrapping in 14 bits (the ABA caveat)."""
     return (version + 1) & MAX_VERSION
+
+
+# ---------------------------------------------------------------------------
+# Fault-hardened ECN spacing (EC-CFI-style single-bit-flip detection)
+# ---------------------------------------------------------------------------
+
+#: Payload bits of a parity-spaced ECN (one of the 14 ECN bits carries
+#: the parity, halving the class space to 2^13 — far above any CFG here).
+PARITY_ECN_BITS = ECN_BITS - 1
+MAX_PARITY_ECN = (1 << PARITY_ECN_BITS) - 1
+
+
+def parity_ecn(ecn: int) -> int:
+    """Space an ECN so every pair of encoded ECNs differs in >= 2 bits.
+
+    The low bit of the encoded value is the parity of the payload, so a
+    single bit flip anywhere in the ECN half of a stored ID can never
+    alias another in-use equivalence class: the flipped word either
+    fails the reserved-bit validity test or decodes to an ECN with bad
+    parity, which :func:`parity_ecn_ok` (and therefore any branch-ID
+    comparison against a properly encoded ID) rejects.  This is the
+    table-fault hardening the fault-injection campaign leans on.
+    """
+    if not 0 <= ecn <= MAX_PARITY_ECN:
+        raise ValueError(f"ECN {ecn} out of {PARITY_ECN_BITS}-bit "
+                         "parity-spaced range")
+    return (ecn << 1) | (bin(ecn).count("1") & 1)
+
+
+def parity_ecn_ok(encoded: int) -> bool:
+    """True if an encoded ECN carries consistent parity."""
+    return (bin(encoded >> 1).count("1") & 1) == (encoded & 1)

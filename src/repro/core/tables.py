@@ -125,6 +125,46 @@ class IdTables:
         branch = self.branch_id(site)
         return is_valid_id(target) and target == branch
 
+    # -- integrity audit (fault detection and repair) ----------------------
+
+    def audit(self) -> Dict[str, list]:
+        """Compare stored table words against the trusted assignment.
+
+        The ``tary_ecns``/``bary_ecns`` dicts are runtime-private state
+        the sandbox can never reach, so they serve as ground truth: any
+        stored ID that disagrees with ``pack_id(ecn, version)`` has been
+        corrupted (a fault, not an update — updates rewrite both).
+        Returns the corrupted entries per table without modifying them.
+        """
+        expected_version = self.version
+        bad_tary = []
+        for address, ecn in self.tary_ecns.items():
+            want = pack_id(ecn, expected_version)
+            got = self.memory.read_tary(tary_index(address))
+            if got != want:
+                bad_tary.append((address, got, want))
+        bad_bary = []
+        for site, ecn in self.bary_ecns.items():
+            want = pack_id(ecn, expected_version)
+            got = self.memory.read_bary(bary_index(site))
+            if got != want:
+                bad_bary.append((site, got, want))
+        return {"tary": bad_tary, "bary": bad_bary}
+
+    def scrub(self) -> int:
+        """Audit and repair: rewrite every corrupted entry in place.
+
+        Returns the number of entries repaired.  Must only run from the
+        trusted runtime while no update transaction is in flight (the
+        audit compares against the *current* version).
+        """
+        findings = self.audit()
+        for address, _, want in findings["tary"]:
+            self.memory.write_tary(tary_index(address), want)
+        for site, _, want in findings["bary"]:
+            self.memory.write_bary(bary_index(site), want)
+        return len(findings["tary"]) + len(findings["bary"])
+
     # -- bookkeeping --------------------------------------------------------
 
     def clear_targets(self, addresses: Iterable[int]) -> None:

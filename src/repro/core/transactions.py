@@ -37,7 +37,14 @@ from repro.core.idencoding import (
     same_version,
 )
 from repro.core.tables import IdTables, bary_index, tary_index
-from repro.errors import MemoryFault, RuntimeError_
+from repro.errors import MemoryFault, RuntimeError_, TableIntegrityError
+
+#: Default retry budget for the scheduler-friendly check transaction.
+#: Generous — a single in-flight update costs a handful of retries —
+#: but finite, so sustained version churn (a wedged updater, an
+#: injected stale-version fault) escalates to a typed error instead of
+#: spinning forever.
+DEFAULT_CHECK_RETRIES = 4096
 
 
 class CheckResult:
@@ -75,13 +82,17 @@ def tx_check(tables: IdTables, site: int, target: int,
         if not same_version(branch_id, target_id):
             retries += 1
             if retries > max_retries:
-                raise RuntimeError_("check transaction livelocked")
+                raise TableIntegrityError(
+                    "check transaction livelocked: version mismatch "
+                    f"persisted through {retries} retries",
+                    retries=retries)
             continue
         return CheckResult.ECN_MISMATCH, retries
 
 
 def tx_check_gen(tables: IdTables, site: int, target: int,
                  sink: Optional[List[Tuple[str, int]]] = None,
+                 max_retries: int = DEFAULT_CHECK_RETRIES,
                  ) -> Generator[None, None, Tuple[str, int]]:
     """Scheduler-friendly check transaction: yields on every retry.
 
@@ -90,6 +101,11 @@ def tx_check_gen(tables: IdTables, site: int, target: int,
     scheduler that parallelism is a ``yield`` per retry.  Appends the
     final ``(result, retries)`` to ``sink`` if given (generators' return
     values are awkward to collect from scheduler tasks).
+
+    The retry loop is *bounded*: exhausting ``max_retries`` raises
+    :class:`~repro.errors.TableIntegrityError` rather than spinning
+    forever, so a stuck or adversarial updater degrades to a fail-safe
+    halt instead of a livelock.
     """
     memory = tables.memory
     bindex = bary_index(site)
@@ -110,6 +126,11 @@ def tx_check_gen(tables: IdTables, site: int, target: int,
             break
         if not same_version(branch_id, target_id):
             retries += 1
+            if retries > max_retries:
+                raise TableIntegrityError(
+                    "check transaction livelocked: version mismatch "
+                    f"persisted through {retries} retries at site "
+                    f"{site}", retries=retries)
             yield
             continue
         outcome = (CheckResult.ECN_MISMATCH, retries)
@@ -173,6 +194,15 @@ class UpdateTransaction:
         self.owner = owner
         self.completed = False
 
+    def _barrier(self) -> Generator[None, None, None]:
+        """The Tary/Bary ordering point — one atomic step.
+
+        A hook so the fault plane can subclass this transaction and
+        delay (extra yields) or drop (no yield) the barrier; the
+        production transaction always yields exactly once.
+        """
+        yield
+
     def run(self) -> Generator[None, None, None]:
         tables = self.tables
         memory = tables.memory
@@ -194,7 +224,7 @@ class UpdateTransaction:
                     yield
 
             # -- memory write barrier (linearization point) ---------------
-            yield
+            yield from self._barrier()
 
             # -- GOT updates (PLT targets), serialized by a second barrier
             if self.got_updates:

@@ -114,6 +114,38 @@ class WxViolation(RuntimeError_):
     """Raised when a mapping would be both writable and executable."""
 
 
+class TableIntegrityError(RuntimeError_):
+    """Raised when the ID tables cannot be trusted any longer.
+
+    Two escalation paths lead here: a check transaction exhausting its
+    bounded retry budget under sustained version churn (instead of
+    spinning forever), and a table audit finding an entry whose stored
+    ID disagrees with the trusted ECN assignment (e.g. after a fault
+    injection flipped a bit).  Both are fail-safe: the runtime halts or
+    quarantines rather than risking a forged edge.
+    """
+
+    def __init__(self, message: str, index: int | None = None,
+                 retries: int | None = None) -> None:
+        self.index = index
+        self.retries = retries
+        super().__init__(message)
+
+
+class InjectedFault(ReproError):
+    """Raised by the fault-injection plane (:mod:`repro.faults`).
+
+    Carries the fault point so recovery code and tests can assert
+    exactly which phase failed.  Never raised in production paths
+    unless a :class:`repro.faults.plane.FaultPlane` armed the point.
+    """
+
+    def __init__(self, point: str, detail: str = "") -> None:
+        self.point = point
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"injected fault at {point!r}{suffix}")
+
+
 class LinkError(ReproError):
     """Raised by the static or dynamic linker (e.g. unresolved symbols)."""
 

@@ -1,0 +1,66 @@
+"""Deterministic fault injection for the MCFI runtime (PR 2).
+
+The fault plane answers the question the paper's design argument
+raises but its evaluation cannot: *what happens when the machinery
+itself is attacked or fails?*  Every injector is seeded, every
+campaign cell replays bit-for-bit, and the one inadmissible outcome —
+a forged-edge admission — is detected exactly because the harness
+knows the trusted CFG.
+
+Modules:
+
+* :mod:`repro.faults.plane` — named fault points, armed per campaign
+  cell (:data:`~repro.faults.plane.NULL_PLANE` in production);
+* :mod:`repro.faults.injectors` — the injector taxonomy: bit flips,
+  stale versions, version churn, torn update barriers, worker faults;
+* :mod:`repro.faults.harness` — one injector against one workload,
+  classified into survived / degraded / halted / forged / error;
+* :mod:`repro.faults.campaign` — the injector × workload × policy
+  matrix through the infra pool, with the survival report artifact.
+"""
+
+from repro.faults.campaign import (
+    render_survival,
+    run_fault_campaign,
+    write_survival_report,
+)
+from repro.faults.harness import (
+    INJECTORS,
+    LOAD_PHASES,
+    POLICIES,
+    TABLE_WORKLOADS,
+    SurvivalRecord,
+    run_load_scenario,
+    run_table_scenario,
+)
+from repro.faults.injectors import (
+    TornUpdateTransaction,
+    bit_flip_injector,
+    faulty_job,
+    stale_version_injector,
+    table_scrubber,
+    version_churn_injector,
+)
+from repro.faults.plane import NULL_PLANE, FaultEvent, FaultPlane
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlane",
+    "INJECTORS",
+    "LOAD_PHASES",
+    "NULL_PLANE",
+    "POLICIES",
+    "SurvivalRecord",
+    "TABLE_WORKLOADS",
+    "TornUpdateTransaction",
+    "bit_flip_injector",
+    "faulty_job",
+    "render_survival",
+    "run_fault_campaign",
+    "run_load_scenario",
+    "run_table_scenario",
+    "stale_version_injector",
+    "table_scrubber",
+    "version_churn_injector",
+    "write_survival_report",
+]

@@ -1,0 +1,192 @@
+"""Fault campaigns: the injector × workload × policy matrix.
+
+Reuses the experiment-orchestration machinery of :mod:`repro.infra`
+end to end — jobs fan out across the :class:`~repro.infra.pool.
+WorkerPool` (each scenario in its own forked worker, so a harness bug
+cannot take the campaign down), records land in a
+:class:`~repro.infra.results.ResultStore` JSONL, and the survival
+report is regenerated from stored records like every other
+``benchmarks/results`` artifact.
+
+The headline number is **forged-edge admissions**: across every
+injector under the ``halt`` policy it must be zero, which is the
+fail-safe claim of the paper's table design made into a regression
+check.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.faults.harness import (
+    INJECTORS,
+    LOAD_PHASES,
+    POLICIES,
+    TABLE_WORKLOADS,
+    run_load_scenario,
+    run_table_scenario,
+)
+from repro.infra.pool import Job, WorkerPool
+from repro.infra.results import ResultStore
+
+#: Record kind used in the JSONL store for one campaign cell.
+RECORD_KIND = "fault"
+
+
+def _table_cell(injector: str, workload: str, policy: str,
+                seed: int, scrub: bool) -> Dict[str, Any]:
+    record = run_table_scenario(injector, workload=workload,
+                                policy=policy, seed=seed, scrub=scrub)
+    return record.as_dict()
+
+
+def _load_cell(phase: str, policy: str, seed: int,
+               scheduled: bool) -> Dict[str, Any]:
+    record = run_load_scenario(phase, policy=policy, seed=seed,
+                               scheduled=scheduled)
+    return record.as_dict()
+
+
+def run_fault_campaign(injectors: Sequence[str] = INJECTORS,
+                       workloads: Sequence[str] = tuple(TABLE_WORKLOADS),
+                       policies: Sequence[str] = POLICIES,
+                       seeds: Sequence[int] = (0, 1),
+                       load_phases: Sequence[str] = LOAD_PHASES,
+                       scrub: bool = False,
+                       jobs: int = 1,
+                       store: Optional[ResultStore] = None,
+                       timeout: Optional[float] = 120.0,
+                       retries: int = 1) -> Dict[str, Any]:
+    """Run the full fault matrix through the worker pool.
+
+    Table-plane cells are ``injectors × workloads × policies × seeds``;
+    loader-plane cells are ``load_phases × policies × seeds`` (split
+    across inline and scheduled execution by seed parity).  Returns the
+    campaign summary; per-cell records go to ``store`` when given.
+    """
+    for injector in injectors:
+        if injector not in INJECTORS:
+            raise ValueError(f"unknown injector {injector!r}")
+    for phase in load_phases:
+        if phase not in LOAD_PHASES:
+            raise ValueError(f"unknown load phase {phase!r}")
+    pool_jobs: List[Job] = []
+    for injector in injectors:
+        for workload in workloads:
+            for policy in policies:
+                for seed in seeds:
+                    pool_jobs.append(Job(
+                        fn=_table_cell,
+                        args=(injector, workload, policy, seed, scrub),
+                        id=f"{injector}/{workload}/{policy}/s{seed}",
+                        group=injector))
+    for phase in load_phases:
+        for policy in policies:
+            for seed in seeds:
+                pool_jobs.append(Job(
+                    fn=_load_cell,
+                    args=(phase, policy, seed, seed % 2 == 1),
+                    id=f"load-{phase}/dlopen/{policy}/s{seed}",
+                    group=f"load-{phase}"))
+    start = time.perf_counter()
+    pool = WorkerPool(workers=max(1, jobs), timeout=timeout,
+                      retries=retries, breaker_threshold=4)
+    outcomes = pool.run(pool_jobs)
+    wall = time.perf_counter() - start
+    records: List[Dict[str, Any]] = []
+    failures: List[str] = []
+    for job, outcome in zip(pool_jobs, outcomes):
+        if outcome.ok:
+            record = dict(outcome.value)
+            records.append(record)
+            if store is not None:
+                store.append(RECORD_KIND, **record)
+        else:
+            failures.append(outcome.id)
+            if store is not None:
+                store.append_job(outcome, cell=job.id)
+    outcomes_by_kind: Dict[str, int] = {}
+    for record in records:
+        key = record.get("outcome", "error")
+        outcomes_by_kind[key] = outcomes_by_kind.get(key, 0) + 1
+    summary = {
+        "kind": "fault-summary",
+        "cells": len(pool_jobs),
+        "completed": len(records),
+        "failures": failures,
+        "forged": sum(r.get("forged", 0) for r in records),
+        "probes": sum(r.get("probes", 0) for r in records),
+        "escalations": sum(r.get("escalations", 0) for r in records),
+        "outcomes": outcomes_by_kind,
+        "wall_seconds": round(wall, 3),
+        "jobs": jobs,
+    }
+    if store is not None:
+        store.append(**summary)
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# The survival report artifact
+# ---------------------------------------------------------------------------
+
+_COLUMNS = ("outcome", "probes", "forged", "denied", "avail",
+            "esc", "quar", "ticks")
+
+
+def render_survival(records: Sequence[Dict[str, Any]]) -> str:
+    """Format fault records as the ``fault_survival.txt`` artifact."""
+    cells = [r for r in records if r.get("kind", RECORD_KIND)
+             == RECORD_KIND and "injector" in r]
+    lines: List[str] = []
+    lines.append("MCFI fault-injection survival matrix")
+    lines.append("(Modular CFI, PLDI 2014 — Sec. 4 tables under "
+                 "injected faults)")
+    lines.append("")
+    header = (f"{'injector':<14} {'workload':<9} {'policy':<10} "
+              f"{'seed':>4}  {'outcome':<9} {'probes':>6} "
+              f"{'forged':>6} {'avail':>5} {'esc':>4} {'quar':>4} "
+              f"{'rolled':>6}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in sorted(cells, key=lambda r: (r.get("injector", ""),
+                                          r.get("workload", ""),
+                                          r.get("policy", ""),
+                                          r.get("seed", 0))):
+        rolled = r.get("rolled_back")
+        lines.append(
+            f"{r.get('injector', '?'):<14} {r.get('workload', '?'):<9} "
+            f"{r.get('policy', '?'):<10} {r.get('seed', 0):>4}  "
+            f"{r.get('outcome', '?'):<9} {r.get('probes', 0):>6} "
+            f"{r.get('forged', 0):>6} {r.get('availability', 0):>5} "
+            f"{r.get('escalations', 0):>4} {r.get('quarantined', 0):>4} "
+            f"{'-' if rolled is None else ('yes' if rolled else 'NO'):>6}")
+    lines.append("")
+    forged = sum(r.get("forged", 0) for r in cells)
+    outcomes: Dict[str, int] = {}
+    for r in cells:
+        key = r.get("outcome", "error")
+        outcomes[key] = outcomes.get(key, 0) + 1
+    breakdown = ", ".join(f"{k}={v}" for k, v in sorted(outcomes.items()))
+    lines.append(f"cells: {len(cells)}  ({breakdown})")
+    lines.append(f"probes: {sum(r.get('probes', 0) for r in cells)}  "
+                 f"escalations: "
+                 f"{sum(r.get('escalations', 0) for r in cells)}  "
+                 f"repairs: {sum(r.get('repairs', 0) for r in cells)}")
+    lines.append(f"forged-edge admissions: {forged}"
+                 + ("" if forged == 0 else "  ** SECURITY FAILURE **"))
+    not_rolled = [r for r in cells if r.get("rolled_back") is False]
+    if any(r.get("rolled_back") is not None for r in cells):
+        lines.append(f"failed loads not rolled back: {len(not_rolled)}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_survival_report(records: Sequence[Dict[str, Any]],
+                          path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_survival(records), encoding="utf-8")
+    return path

@@ -1,0 +1,217 @@
+"""Seeded fault injectors for the ID-table and transaction planes.
+
+Each injector is a scheduler generator task (one corruption per
+``yield`` boundary, like the Sec. 4 attacker model) or an
+:class:`~repro.core.transactions.UpdateTransaction` variant.  All
+randomness flows from an explicit seed, so a campaign cell replays
+bit-for-bit.
+
+The taxonomy follows the threat models of EC-CFI (hardware fault
+attacks on CFI state) and the paper's own concurrency hazards:
+
+* :func:`bit_flip_injector` — single-bit upsets in stored Tary/Bary
+  IDs (rowhammer/ glitching model);
+* :func:`stale_version_injector` — rewinds entries to a previous
+  version, opening stale-version windows that force check retries;
+* :func:`version_churn_injector` — back-to-back refresh transactions,
+  the sustained-churn load that a bounded check-retry budget must
+  survive (by escalating, not spinning);
+* :class:`TornUpdateTransaction` — a Fig. 3 update whose Tary/Bary
+  barrier is delayed or dropped, for exercising the ordering property;
+* :func:`table_scrubber` — not a fault but the matching defense: a
+  periodic audit-and-repair task over the trusted ECN assignment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List, Optional
+
+from repro.core.idencoding import pack_id
+from repro.core.tables import IdTables, bary_index, tary_index
+from repro.core.transactions import UpdateLock, UpdateTransaction
+from repro.faults.plane import FaultEvent
+
+
+# ---------------------------------------------------------------------------
+# Table-state injectors (scheduler tasks)
+# ---------------------------------------------------------------------------
+
+def bit_flip_injector(tables: IdTables, seed: int = 0, flips: int = 1,
+                      table: str = "tary", bit_range: int = 32,
+                      events: Optional[List[FaultEvent]] = None,
+                      ) -> Generator[None, None, None]:
+    """Flip one seeded bit per step in ``flips`` distinct live entries.
+
+    Models a hardware fault (EC-CFI's threat): the write happens from
+    the *host* side — no sandbox store can reach the tables — directly
+    into the stored ID word.  Distinct live entries are chosen without
+    replacement, so each corrupted word is exactly one bit away from
+    its trusted value (the single-event-upset model the parity-spaced
+    ECN encoding is designed to catch).
+    """
+    rng = random.Random(seed)
+    live = sorted(tables.tary_ecns if table == "tary"
+                  else tables.bary_ecns)
+    if not live:
+        return
+    chosen = rng.sample(live, min(flips, len(live)))
+    for n, key in enumerate(chosen):
+        bit = rng.randrange(bit_range)
+        if table == "tary":
+            index = tary_index(key)
+            word = tables.memory.read_tary(index) ^ (1 << bit)
+            tables.memory.write_tary(index, word)
+            label = f"tary[{key:#x}] bit {bit}"
+        else:
+            index = bary_index(key)
+            word = tables.memory.read_bary(index) ^ (1 << bit)
+            tables.memory.write_bary(index, word)
+            label = f"bary[{key}] bit {bit}"
+        if events is not None:
+            events.append(FaultEvent(point=f"table.bitflip.{table}",
+                                     sequence=n, detail=label))
+        yield
+
+
+def stale_version_injector(tables: IdTables, seed: int = 0,
+                           entries: int = 4, back: int = 1,
+                           events: Optional[List[FaultEvent]] = None,
+                           ) -> Generator[None, None, None]:
+    """Rewind seeded Tary entries to a ``back``-older version.
+
+    A checker hitting such an entry sees valid IDs with mismatched
+    version halves — exactly the in-flight-update signature — and must
+    retry.  Because no update is actually in flight, the window never
+    closes on its own: this is the livelock scenario the bounded retry
+    budget escalates out of (or the scrubber repairs).
+    """
+    rng = random.Random(seed)
+    for n in range(entries):
+        if not tables.tary_ecns:
+            return
+        address = rng.choice(sorted(tables.tary_ecns))
+        stale_version = (tables.version - back) & 0x3FFF
+        word = pack_id(tables.tary_ecns[address], stale_version)
+        tables.memory.write_tary(tary_index(address), word)
+        if events is not None:
+            events.append(FaultEvent(
+                point="table.stale-version", sequence=n,
+                detail=f"tary[{address:#x}] -> version {stale_version}"))
+        yield
+
+
+def version_churn_injector(tables: IdTables, lock: UpdateLock,
+                           rounds: int = 8, batch: int = 2,
+                           ) -> Generator[None, None, None]:
+    """Run ``rounds`` back-to-back refresh transactions.
+
+    Sustained churn keeps version halves in flux; a checker caught
+    between rounds retries repeatedly, which is what the bounded retry
+    budget (``DEFAULT_CHECK_RETRIES``) exists to cap.
+    """
+    from repro.core.transactions import refresh_transaction
+    for _ in range(rounds):
+        yield from refresh_transaction(tables, lock, batch=batch).run()
+        yield
+
+
+# ---------------------------------------------------------------------------
+# Torn update transactions
+# ---------------------------------------------------------------------------
+
+class TornUpdateTransaction(UpdateTransaction):
+    """An update transaction with an adversarial Tary/Bary barrier.
+
+    ``mode``:
+
+    * ``"delay"`` — the barrier stalls for ``stall`` extra scheduler
+      steps, stretching the window where Tary is new but Bary is old;
+    * ``"drop"``  — the barrier performs no atomic step at all (no
+      yield), modelling a missing fence: the Bary write batch begins in
+      the same scheduler step as the last Tary write.
+
+    Neither mode may ever let a concurrent check observe a
+    forged-valid edge — the version discipline, not the barrier alone,
+    carries that property — which is precisely what the ordering
+    property test demonstrates across seeds.
+    """
+
+    def __init__(self, *args, mode: str = "delay", stall: int = 16,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if mode not in ("delay", "drop"):
+            raise ValueError(f"unknown torn-update mode {mode!r}")
+        self.mode = mode
+        self.stall = max(0, stall)
+
+    def _barrier(self) -> Generator[None, None, None]:
+        if self.mode == "drop":
+            return
+        for _ in range(1 + self.stall):
+            yield
+
+
+# ---------------------------------------------------------------------------
+# The matching defense: periodic table scrubbing
+# ---------------------------------------------------------------------------
+
+def table_scrubber(tables: IdTables, lock: UpdateLock,
+                   interval: int = 8, rounds: int = 0,
+                   counter: Optional[dict] = None,
+                   ) -> Generator[None, None, None]:
+    """Audit-and-repair task: every ``interval`` steps, rewrite any
+    stored ID that disagrees with the trusted ECN assignment.
+
+    Skips audits while an update transaction holds the lock (the
+    tables are legitimately mid-rewrite then).  ``rounds`` of 0 runs
+    forever (until the scheduler retires the task); ``counter`` (if
+    given) accumulates ``{"repairs": n, "audits": n}``.
+    """
+    done = 0
+    while rounds == 0 or done < rounds:
+        for _ in range(interval):
+            yield
+        if lock.held:
+            continue
+        repaired = tables.scrub()
+        done += 1
+        if counter is not None:
+            counter["audits"] = counter.get("audits", 0) + 1
+            counter["repairs"] = counter.get("repairs", 0) + repaired
+
+
+# ---------------------------------------------------------------------------
+# Worker-process faults for the infra pool
+# ---------------------------------------------------------------------------
+
+def faulty_job(fn, plan: str, attempt_file: str):
+    """Wrap a pool job so chosen attempts fail deterministically.
+
+    ``plan`` is a string of one letter per attempt: ``e`` raise an
+    exception, ``c`` crash the worker (``os._exit``), ``t`` wedge (a
+    long sleep the pool must time out), ``.`` run ``fn`` normally.
+    Attempts beyond the plan run normally.  ``attempt_file`` persists
+    the attempt count across worker processes (they share no memory).
+    """
+    import os
+    import time as _time
+
+    def body(*args, **kwargs):
+        attempt = 0
+        if os.path.exists(attempt_file):
+            with open(attempt_file) as fh:
+                attempt = int(fh.read() or 0)
+        with open(attempt_file, "w") as fh:
+            fh.write(str(attempt + 1))
+        action = plan[attempt] if attempt < len(plan) else "."
+        if action == "e":
+            raise RuntimeError(f"injected worker fault (attempt "
+                               f"{attempt + 1})")
+        if action == "c":
+            os._exit(17)
+        if action == "t":
+            _time.sleep(600)
+        return fn(*args, **kwargs)
+
+    return body

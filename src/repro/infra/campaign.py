@@ -263,11 +263,13 @@ def run_campaign(target_names: Sequence[str],
     instances = expand(list(instance_names))
     cells = [(t, i.name) for t in target_names for i in instances]
     start = time.perf_counter()
+    # Group jobs by target so a target whose every cell fails trips the
+    # breaker instead of timing out once per instance.
     pool = WorkerPool(workers=max(1, jobs), timeout=timeout,
-                      retries=retries)
+                      retries=retries, breaker_threshold=3)
     outcomes = pool.run([
         Job(fn=run_target, args=(t, i), kwargs={"execute": execute},
-            id=f"{t}/{i}")
+            id=f"{t}/{i}", group=t)
         for t, i in cells])
     wall = time.perf_counter() - start
     stats = CacheStats()

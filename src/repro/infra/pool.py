@@ -11,10 +11,20 @@ orchestrator down with it.  The pool gives each job
   to ``retries`` extra attempts before the failure is surfaced;
 * **worker-crash capture** — a worker that dies without reporting
   (``os._exit``, OOM-kill, segfault) yields a ``crashed`` result with
-  its exit code instead of a hang.
+  its exit code instead of a hang;
+* **exponential backoff with seeded jitter** — retries wait
+  ``backoff * backoff_factor**(attempt-1)`` plus a deterministic jitter
+  before respawning, so a flaky shared resource is not hammered;
+* a **per-group circuit breaker** — after ``breaker_threshold``
+  consecutive failures within one ``Job.group``, remaining jobs in that
+  group fail fast with ``error_type="CircuitOpen"`` instead of burning
+  a full timeout each (a campaign with one broken target finishes in
+  seconds, not hours).
 
 Results come back in *submission order* regardless of completion order,
 so a parallel campaign produces byte-identical tables to a serial one.
+``JobResult.seconds`` is cumulative across all attempts of a job, in
+both forked and inline modes.
 
 On platforms without ``fork`` the pool degrades to in-process serial
 execution (retries still honoured; timeouts unenforceable and ignored).
@@ -23,6 +33,7 @@ execution (retries still honoured; timeouts unenforceable and ignored).
 from __future__ import annotations
 
 import multiprocessing
+import random
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -47,6 +58,8 @@ class Job:
     timeout: Optional[float] = None
     #: extra attempts after the first; None = pool default
     retries: Optional[int] = None
+    #: circuit-breaker group (e.g. the campaign target); None = no breaker
+    group: Optional[str] = None
 
 
 @dataclass
@@ -92,13 +105,15 @@ def _worker(conn, fn, args, kwargs) -> None:
 class _Active:
     """Bookkeeping for one in-flight attempt."""
 
-    def __init__(self, index, job, process, conn, attempt, deadline):
+    def __init__(self, index, job, process, conn, attempt, deadline,
+                 spent=0.0):
         self.index = index
         self.job = job
         self.process = process
         self.conn = conn
         self.attempt = attempt
         self.deadline = deadline
+        self.spent = spent           # seconds burned by earlier attempts
         self.started = time.perf_counter()
 
 
@@ -106,19 +121,67 @@ class WorkerPool:
     """Fan jobs across ``workers`` forked processes.
 
     ``timeout`` and ``retries`` are defaults a :class:`Job` may
-    override per job.
+    override per job.  ``backoff`` (base delay, in seconds, before the
+    second attempt), ``backoff_factor`` and ``jitter`` shape the retry
+    schedule; ``seed`` makes the jitter replayable.
+    ``breaker_threshold`` consecutive failures within one
+    :attr:`Job.group` open that group's circuit: later jobs in the
+    group fail fast without spawning a worker.
     """
 
     def __init__(self, workers: int = 1, timeout: Optional[float] = None,
-                 retries: int = 0):
+                 retries: int = 0, backoff: float = 0.0,
+                 backoff_factor: float = 2.0, jitter: float = 0.0,
+                 seed: int = 0,
+                 breaker_threshold: Optional[int] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if breaker_threshold is not None and breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
         self.workers = workers
         self.timeout = timeout
         self.retries = retries
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.jitter = jitter
+        self.breaker_threshold = breaker_threshold
+        self._rng = random.Random(seed)
+        self._failures: Dict[str, int] = {}
         methods = multiprocessing.get_all_start_methods()
         self._ctx = (multiprocessing.get_context("fork")
                      if "fork" in methods else None)
+
+    # -- retry schedule / circuit breaker ----------------------------
+
+    def _retry_delay(self, failed_attempt: int) -> float:
+        """Delay before re-running after attempt ``failed_attempt``."""
+        if self.backoff <= 0 and self.jitter <= 0:
+            return 0.0
+        base = self.backoff * (self.backoff_factor ** (failed_attempt - 1))
+        return base + (self._rng.uniform(0, self.jitter)
+                       if self.jitter > 0 else 0.0)
+
+    def _breaker_open(self, job: Job) -> bool:
+        if self.breaker_threshold is None or job.group is None:
+            return False
+        return self._failures.get(job.group, 0) >= self.breaker_threshold
+
+    def _breaker_result(self, job: Job) -> JobResult:
+        failures = self._failures.get(job.group, 0)
+        return JobResult(
+            id=job.id, ok=False, attempts=0,
+            error=(f"circuit open for group {job.group!r} after "
+                   f"{failures} consecutive failures"),
+            error_type="CircuitOpen")
+
+    def _note_outcome(self, job: Job, ok: bool) -> None:
+        if job.group is None:
+            return
+        if ok:
+            self._failures[job.group] = 0
+        else:
+            self._failures[job.group] = \
+                self._failures.get(job.group, 0) + 1
 
     # -- public API --------------------------------------------------
 
@@ -133,6 +196,7 @@ class WorkerPool:
         for i, job in enumerate(jobs):
             if job.id is None:
                 job.id = f"job-{i}"
+        self._failures = {}
         if self._ctx is None:
             return [self._run_inline(job) for job in jobs]
         return self._run_forked(jobs)
@@ -140,12 +204,19 @@ class WorkerPool:
     # -- serial fallback ---------------------------------------------
 
     def _run_inline(self, job: Job) -> JobResult:
+        if self._breaker_open(job):
+            return self._breaker_result(job)
         retries = self.retries if job.retries is None else job.retries
         start = time.perf_counter()
         last: Optional[JobResult] = None
         for attempt in range(1, retries + 2):
+            if attempt > 1:
+                delay = self._retry_delay(attempt - 1)
+                if delay > 0:
+                    time.sleep(delay)
             try:
                 value = job.fn(*job.args, **(job.kwargs or {}))
+                self._note_outcome(job, ok=True)
                 return JobResult(id=job.id, ok=True, value=value,
                                  attempts=attempt,
                                  seconds=time.perf_counter() - start)
@@ -155,11 +226,13 @@ class WorkerPool:
                                  tb=traceback.format_exc(),
                                  attempts=attempt,
                                  seconds=time.perf_counter() - start)
+        self._note_outcome(job, ok=False)
         return last
 
     # -- forked execution --------------------------------------------
 
-    def _spawn(self, index: int, job: Job, attempt: int) -> _Active:
+    def _spawn(self, index: int, job: Job, attempt: int,
+               spent: float = 0.0) -> _Active:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_worker, args=(child_conn, job.fn, job.args, job.kwargs),
@@ -169,7 +242,8 @@ class WorkerPool:
         timeout = self.timeout if job.timeout is None else job.timeout
         deadline = (time.perf_counter() + timeout
                     if timeout is not None else None)
-        return _Active(index, job, process, parent_conn, attempt, deadline)
+        return _Active(index, job, process, parent_conn, attempt, deadline,
+                       spent=spent)
 
     def _reap(self, active: _Active) -> Optional[JobResult]:
         """Check one in-flight attempt; a result means it finished."""
@@ -231,10 +305,25 @@ class WorkerPool:
         pending = list(enumerate(jobs))
         pending.reverse()  # pop() from the front of the submission order
         active: List[_Active] = []
+        #: retries waiting out their backoff: (ready_at, index, job,
+        #: attempt, seconds_spent_so_far)
+        waiting: List[tuple] = []
         try:
-            while pending or active:
+            while pending or active or waiting:
+                now = time.perf_counter()
+                # Backoff-expired retries re-enter first: they hold a
+                # result slot that everything after them waits on.
+                ready = [w for w in waiting if w[0] <= now]
+                if ready:
+                    waiting = [w for w in waiting if w[0] > now]
+                    for _, index, job, attempt, spent in ready:
+                        active.append(self._spawn(index, job, attempt,
+                                                  spent=spent))
                 while pending and len(active) < self.workers:
                     index, job = pending.pop()
+                    if self._breaker_open(job):
+                        results[index] = self._breaker_result(job)
+                        continue
                     active.append(self._spawn(index, job, attempt=1))
                 still_running: List[_Active] = []
                 for entry in active:
@@ -242,17 +331,21 @@ class WorkerPool:
                     if outcome is None:
                         still_running.append(entry)
                         continue
+                    outcome.seconds += entry.spent
                     retries = (self.retries if entry.job.retries is None
                                else entry.job.retries)
                     if not outcome.ok and entry.attempt <= retries:
-                        still_running.append(
-                            self._spawn(entry.index, entry.job,
-                                        attempt=entry.attempt + 1))
+                        delay = self._retry_delay(entry.attempt)
+                        waiting.append((time.perf_counter() + delay,
+                                        entry.index, entry.job,
+                                        entry.attempt + 1,
+                                        outcome.seconds))
                         continue
                     outcome.attempts = entry.attempt
+                    self._note_outcome(entry.job, ok=outcome.ok)
                     results[entry.index] = outcome
                 active = still_running
-                if active:
+                if active or waiting:
                     time.sleep(_POLL_SECONDS)
         finally:
             for entry in active:

@@ -20,6 +20,16 @@ scheduled (multithreaded) mode it runs as a scheduler task concurrent
 with all other threads, and the calling thread blocks until the update
 completes — which is exactly the scenario the transaction design
 exists for.
+
+**Transactional loading.**  Every ``dlopen``/``dlclose`` opens a
+:class:`LoadJournal` first: a snapshot of both ID tables, the linker's
+allocation cursors, the GOT slots and the merged CFG state.  If the
+load fails at *any* phase — symbol resolution, CFG regeneration, or
+mid-way through the table update transaction (exercised by the fault
+plane of :mod:`repro.faults`) — the journal rolls everything back:
+the Tary and Bary tables end byte-identical to the pre-load snapshot,
+the half-loaded module's pages are sealed non-executable, and the
+``dlopen`` returns 0 instead of leaving a half-published policy.
 """
 
 from __future__ import annotations
@@ -29,8 +39,11 @@ from typing import Dict, List, Optional
 
 from repro.cfg.generator import Cfg, generate_cfg
 from repro.core.instrument import instrument_items
+from repro.core.tables import bary_index, tary_index
 from repro.core.transactions import UpdateTransaction
-from repro.errors import LinkError, RuntimeError_
+from repro.errors import InjectedFault, LinkError, ReproError, \
+    RuntimeError_
+from repro.faults.plane import NULL_PLANE, FaultPlane
 from repro.isa.assembler import assemble
 from repro.linker.static_linker import build_data_image, layout_data
 from repro.mir.codegen import RawModule
@@ -49,14 +62,95 @@ class LoadedLibrary:
     data_base: int
     exports: Dict[str, int] = field(default_factory=dict)
     taken_names: set = field(default_factory=set)
+    quarantined: bool = False
+
+
+class LoadJournal:
+    """Pre-load snapshot of every piece of state a dlopen mutates.
+
+    ``rollback()`` restores the ID tables byte-for-byte, the linker's
+    cursors and registries, the GOT slots and the runtime's CFG — and
+    seals any pages the aborted load mapped into the code region, so a
+    failed load cannot leave executable-but-unpublished code behind.
+    """
+
+    def __init__(self, linker: "DynamicLinker") -> None:
+        runtime = linker.runtime
+        self.linker = linker
+        self.phases: List[str] = []
+        self.rolled_back = False
+        # ID tables, byte-exact.
+        self.tary = bytes(runtime.tables.tary)
+        self.bary = bytes(runtime.tables.bary)
+        tables = runtime.id_tables
+        self.version = tables.version
+        self.tary_ecns = dict(tables.tary_ecns)
+        self.bary_ecns = dict(tables.bary_ecns)
+        self.updates_since_reset = tables.updates_since_reset
+        # Linker allocation state and registries.
+        self.code_cursor = linker._code_cursor
+        self.data_cursor = linker._data_cursor
+        self.next_site = linker._next_site
+        self.next_handle = linker._next_handle
+        self.loaded = dict(linker.loaded)
+        self.by_name = dict(linker._by_name)
+        self.merged_aux = linker._merged_aux
+        # Runtime policy state and the GOT.
+        self.cfg = runtime.cfg
+        self.lock_owner = runtime.update_lock._held_by
+        self.got = {slot: runtime.memory.host_read(slot, 8)
+                    for slot in runtime.program.got_slots.values()}
+
+    def record(self, phase: str) -> None:
+        self.phases.append(phase)
+
+    def rollback(self) -> None:
+        if self.rolled_back:
+            return
+        linker = self.linker
+        runtime = linker.runtime
+        # Tables first: restoring the policy is what closes the
+        # security window; everything else is bookkeeping.
+        runtime.tables.tary[:] = self.tary
+        runtime.tables.bary[:] = self.bary
+        tables = runtime.id_tables
+        tables.version = self.version
+        tables.tary_ecns = dict(self.tary_ecns)
+        tables.bary_ecns = dict(self.bary_ecns)
+        tables.updates_since_reset = self.updates_since_reset
+        for slot, image in self.got.items():
+            runtime.memory.host_write(slot, image)
+        runtime.cfg = self.cfg
+        # An update transaction aborted mid-flight still owns the
+        # update lock; hand it back so later updates are not wedged.
+        runtime.update_lock._held_by = self.lock_owner
+        # Seal any code pages the aborted load mapped, and drop their
+        # decoded-instruction cache entries.
+        if linker._code_cursor > self.code_cursor:
+            size = linker._code_cursor - self.code_cursor
+            runtime.memory.protect(self.code_cursor, size, readable=True,
+                                   writable=False, executable=False)
+            for address in list(runtime.icache):
+                if self.code_cursor <= address < linker._code_cursor:
+                    del runtime.icache[address]
+        linker._code_cursor = self.code_cursor
+        linker._data_cursor = self.data_cursor
+        linker._next_site = self.next_site
+        linker._next_handle = self.next_handle
+        linker.loaded = dict(self.loaded)
+        linker._by_name = dict(self.by_name)
+        linker._merged_aux = self.merged_aux
+        self.rolled_back = True
 
 
 class DynamicLinker:
     """Loads registered libraries into a running :class:`Runtime`."""
 
-    def __init__(self, runtime, verify: bool = False) -> None:
+    def __init__(self, runtime, verify: bool = False,
+                 fault_plane: FaultPlane = NULL_PLANE) -> None:
         self.runtime = runtime
         self.verify = verify
+        self.fault_plane = fault_plane
         self.registry: Dict[str, RawModule] = {}
         self.loaded: Dict[int, LoadedLibrary] = {}
         self._by_name: Dict[str, int] = {}
@@ -68,6 +162,7 @@ class DynamicLinker:
         self._next_site = len(program.module.aux.branch_sites)
         self._base_aux: AuxInfo = program.module.aux
         self._merged_aux: AuxInfo = program.module.aux
+        self.last_journal: Optional[LoadJournal] = None
         runtime.dynamic_linker = self
 
     def register(self, name: str, raw: RawModule) -> None:
@@ -85,15 +180,30 @@ class DynamicLinker:
         if raw is None:
             return 0
 
-        library = self._prepare_module(raw)
-        library.taken_names = set(raw.taken_names)
-        handle = self._next_handle
-        self._next_handle += 1
-        library.handle = handle
-        self.loaded[handle] = library
-        self._by_name[name] = handle
+        journal = LoadJournal(self)
+        self.last_journal = journal
+        try:
+            library = self._prepare_module(raw)
+            journal.record("prepare")
+            self.fault_plane.check("dlopen.prepare", detail=name)
+            library.taken_names = set(raw.taken_names)
+            handle = self._next_handle
+            self._next_handle += 1
+            library.handle = handle
+            self.loaded[handle] = library
+            self._by_name[name] = handle
 
-        self._republish(cpu, result_for_cpu=handle)
+            self._republish(cpu, result_for_cpu=handle, journal=journal)
+        except InjectedFault:
+            # Recoverable load failure: restore the pre-load snapshot
+            # and report failure via the dlopen return value.
+            journal.rollback()
+            return 0
+        except ReproError:
+            # Unrecoverable (bad library, exhausted regions): still
+            # roll the tables back before propagating.
+            journal.rollback()
+            raise
         return handle
 
     def dlclose(self, handle: int, cpu: Optional[CPU] = None) -> int:
@@ -106,13 +216,50 @@ class DynamicLinker:
         non-executable.  (The paper covers loading only; unloading is
         the symmetric extension.)
         """
-        library = self.loaded.pop(handle, None)
-        if library is None:
+        if handle not in self.loaded:
             return -1
+        journal = LoadJournal(self)
+        self.last_journal = journal
+        library = self.loaded.pop(handle)
         self._by_name.pop(library.name, None)
-        self._republish(cpu, result_for_cpu=0,
-                        after=lambda: self._seal_unloaded(library))
+        try:
+            self._republish(cpu, result_for_cpu=0, journal=journal,
+                            after=lambda: self._seal_unloaded(library))
+        except InjectedFault:
+            journal.rollback()
+            return -1
+        except ReproError:
+            journal.rollback()
+            raise
         return 0
+
+    def quarantine(self, handle: int) -> bool:
+        """Retire a loaded library without a full republish.
+
+        Used by the runtime's ``quarantine-module`` violation policy:
+        the library's Tary entries and Bary sites are zeroed directly
+        (every transfer into or out of it now halts fail-safe) and its
+        pages sealed non-executable.  Unlike :meth:`dlclose` this does
+        not regenerate the CFG — it is the fast fail-safe path taken
+        *while handling a violation*, when running another update
+        transaction would be unsafe.
+        """
+        library = self.loaded.get(handle)
+        if library is None or library.quarantined:
+            return False
+        module = library.module
+        tables = self.runtime.id_tables
+        memory = tables.memory
+        for address in [a for a in tables.tary_ecns
+                        if module.base <= a < module.limit]:
+            memory.write_tary(tary_index(address), 0)
+            del tables.tary_ecns[address]
+        for site in module.bary_slots:
+            memory.write_bary(bary_index(site), 0)
+            tables.bary_ecns.pop(site, None)
+        self._seal_unloaded(library)
+        library.quarantined = True
+        return True
 
     def _seal_unloaded(self, library: LoadedLibrary) -> None:
         module = library.module
@@ -145,10 +292,12 @@ class DynamicLinker:
         return merged
 
     def _republish(self, cpu: Optional[CPU], result_for_cpu: int,
-                   after=None) -> None:
+                   after=None, journal: Optional[LoadJournal] = None,
+                   ) -> None:
         """Regenerate the CFG over the current module set and install
         it (with GOT adjustments) via an update transaction."""
         new_aux = self._rebuild_merged()
+        self.fault_plane.check("dlopen.cfg")
         plt_resolution = self._resolve_plt(new_aux)
         got_updates = self._got_updates(plt_resolution)
         # Reset GOT slots whose symbols are no longer resolved.
@@ -156,13 +305,16 @@ class DynamicLinker:
             if symbol not in plt_resolution:
                 got_updates.append((slot, 0))
         cfg = generate_cfg(new_aux, plt_resolution=plt_resolution)
+        if journal is not None:
+            journal.record("cfg")
         transaction = UpdateTransaction(
             self.runtime.id_tables, self.runtime.update_lock,
             new_tary=cfg.tary_ecns, new_bary=cfg.bary_ecns,
             got_writer=self._write_got, got_updates=got_updates)
         self._merged_aux = new_aux
         self.runtime.cfg = cfg
-        self._run_update(transaction, cpu, result_for_cpu, after=after)
+        self._run_update(transaction, cpu, result_for_cpu, after=after,
+                         journal=journal)
 
     def dlsym(self, handle: int, symbol: str) -> int:
         library = self.loaded.get(handle)
@@ -243,16 +395,30 @@ class DynamicLinker:
                 if sym in got_slots]
 
     def _write_got(self, address: int, value: int) -> None:
+        self.fault_plane.check("dlopen.got", detail=f"slot {address:#x}")
         self.runtime.memory.host_write(
             address, value.to_bytes(8, "little"))
 
+    def _update_steps(self, transaction: UpdateTransaction,
+                      journal: Optional[LoadJournal]):
+        """Drive the update transaction with per-step fault checks."""
+        for _ in transaction.run():
+            self.fault_plane.check("dlopen.update")
+            yield
+        if journal is not None:
+            journal.record("update")
+        self.fault_plane.check("dlopen.seal")
+        if journal is not None:
+            journal.record("seal")
+
     def _run_update(self, transaction: UpdateTransaction,
                     cpu: Optional[CPU], result: int,
-                    after=None) -> None:
+                    after=None, journal: Optional[LoadJournal] = None,
+                    ) -> None:
         runtime = self.runtime
         scheduler = runtime._scheduler
         if scheduler is None:
-            for _ in transaction.run():
+            for _ in self._update_steps(transaction, journal):
                 pass
             if after is not None:
                 after()
@@ -264,7 +430,23 @@ class DynamicLinker:
             task.waiting = True
 
         def update_then_wake():
-            yield from transaction.run()
+            try:
+                yield from self._update_steps(transaction, journal)
+            except InjectedFault:
+                # Mid-update failure in concurrent mode: roll back to
+                # the pre-load snapshot and report failure to the
+                # blocked caller instead of tearing the policy.
+                if journal is not None:
+                    journal.rollback()
+                if task is not None:
+                    if cpu is not None:
+                        cpu.regs[0] = 0
+                    task.waiting = False
+                return
+            except ReproError:
+                if journal is not None:
+                    journal.rollback()
+                raise
             if after is not None:
                 after()
             if task is not None:

@@ -55,6 +55,37 @@ from repro.vm import syscalls as sc
 _STACK_SLOT = 0x40000  # 256 KiB of stack per thread
 
 
+#: Violation policies (how the runtime reacts to a CFI violation):
+#: ``halt`` stops the program fail-safe (the paper's behaviour);
+#: ``report`` records the violation and terminates only the offending
+#: thread, letting the rest of the program keep running; ``quarantine``
+#: additionally retires the module containing the violating branch
+#: (seals its pages non-executable and zeroes its table entries).
+VIOLATION_POLICIES = ("halt", "report", "quarantine")
+
+
+@dataclass
+class ViolationRecord:
+    """One CFI violation observed under a non-halting policy."""
+
+    thread: int
+    branch_address: int
+    target_address: int
+    reason: str
+    action: str                 # 'halt' | 'kill-thread' | 'quarantine'
+    module: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "thread": self.thread,
+            "branch": self.branch_address,
+            "target": self.target_address,
+            "reason": self.reason,
+            "action": self.action,
+            "module": self.module,
+        }
+
+
 @dataclass
 class RunResult:
     """Outcome of one program execution."""
@@ -67,6 +98,8 @@ class RunResult:
     fault: Optional[Exception] = None
     check_retries: int = 0
     updates: int = 0
+    violations: List[ViolationRecord] = field(default_factory=list)
+    quarantined: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -74,23 +107,45 @@ class RunResult:
 
 
 class _BlockableCpuTask(CpuTask):
-    """A CPU task that can wait for a runtime operation (e.g. dlopen)."""
+    """A CPU task that can wait for a runtime operation (e.g. dlopen).
 
-    def __init__(self, cpu: CPU, name: str, burst: int = 1) -> None:
+    Also the policy enforcement point: a CFI violation raised by this
+    thread is routed through the runtime's violation handler, which
+    either re-raises (halt policy) or retires the thread and lets the
+    scheduler continue (report / quarantine policies).
+    """
+
+    def __init__(self, cpu: CPU, name: str, burst: int = 1,
+                 runtime: Optional["Runtime"] = None) -> None:
         super().__init__(cpu, name=name, burst=burst)
         self.waiting = False
+        self.runtime = runtime
 
     def step(self) -> None:
         if self.waiting:
             return
-        super().step()
+        try:
+            super().step()
+        except CfiViolation as violation:
+            if self.runtime is None or \
+                    not self.runtime._handle_violation(self.cpu, violation):
+                raise
+            self.alive = False
 
 
 class Runtime:
     """Loads and executes one linked program."""
 
     def __init__(self, program: LinkedProgram, verify: bool = False,
-                 bary_entries: int = 65536) -> None:
+                 bary_entries: int = 65536,
+                 violation_policy: str = "halt") -> None:
+        if violation_policy not in VIOLATION_POLICIES:
+            raise RuntimeError_(
+                f"unknown violation policy {violation_policy!r} "
+                f"(known: {', '.join(VIOLATION_POLICIES)})")
+        self.violation_policy = violation_policy
+        self.violation_records: List[ViolationRecord] = []
+        self.quarantined_modules: List[str] = []
         self.program = program
         self.enforce = program.mcfi
         self.memory = Memory()
@@ -186,12 +241,20 @@ class Runtime:
         try:
             result.exit_code = cpu.run(max_steps=max_steps)
         except CfiViolation as violation:
-            result.violation = violation
+            if self._handle_violation(cpu, violation):
+                # Non-halting policy: the (only) thread is retired but
+                # the run itself is not a fault — the violation shows
+                # up as a structured record, not an exception.
+                pass
+            else:
+                result.violation = violation
         except (MemoryFault, VMError, RuntimeError_) as fault:
             result.fault = fault
         result.output = bytes(self.output)
         result.cycles = cpu.cycles
         result.instructions = cpu.instructions
+        result.violations = list(self.violation_records)
+        result.quarantined = list(self.quarantined_modules)
         return result
 
     def run_scheduled(self, seed: int = 0, burst: int = 1,
@@ -201,7 +264,8 @@ class Runtime:
         scheduler = Scheduler(seed=seed)
         self._scheduler = scheduler
         cpu = self.main_cpu()
-        task = _BlockableCpuTask(cpu, name="main", burst=burst)
+        task = _BlockableCpuTask(cpu, name="main", burst=burst,
+                                 runtime=self)
         scheduler.add(task)
         self._tasks_by_cpu[id(cpu)] = task
         for extra in extra_tasks or []:
@@ -211,8 +275,58 @@ class Runtime:
             exit_code=outcome.exit_code, violation=outcome.violation,
             fault=outcome.fault, output=bytes(self.output),
             cycles=sum(c.cycles for c in self.cpus),
-            instructions=sum(c.instructions for c in self.cpus))
+            instructions=sum(c.instructions for c in self.cpus),
+            violations=list(self.violation_records),
+            quarantined=list(self.quarantined_modules))
         return result
+
+    # -- violation policy -------------------------------------------------------
+
+    def _handle_violation(self, cpu: CPU,
+                          violation: CfiViolation) -> bool:
+        """Apply the violation policy; True if execution may continue.
+
+        Under ``halt`` the violation propagates (paper behaviour).
+        Under ``report`` the offending thread is retired and a
+        structured record is kept.  Under ``quarantine`` the module
+        containing the violating branch is additionally sealed
+        non-executable and scrubbed from the ID tables, so no thread
+        can re-enter it — the fail-safe middle ground between halting
+        the world and ignoring the event.
+        """
+        if self.violation_policy == "halt":
+            return False
+        action = "kill-thread"
+        module_name = None
+        if self.violation_policy == "quarantine":
+            module_name = self._quarantine_module(violation.branch_address)
+            if module_name is not None:
+                action = "quarantine"
+        self.violation_records.append(ViolationRecord(
+            thread=cpu.thread_id,
+            branch_address=violation.branch_address,
+            target_address=violation.target_address,
+            reason=violation.reason, action=action, module=module_name))
+        return True
+
+    def _quarantine_module(self, branch_address: int) -> Optional[str]:
+        """Retire the loaded library containing ``branch_address``.
+
+        Only dynamically loaded modules are quarantined (retiring the
+        main program is equivalent to halting); returns the module name
+        or None if the branch lives in the main image.
+        """
+        linker = self.dynamic_linker
+        if linker is None:
+            return None
+        for library in list(getattr(linker, "loaded", {}).values()):
+            module = library.module
+            if module.base <= branch_address < module.limit:
+                if library.name not in self.quarantined_modules:
+                    linker.quarantine(library.handle)
+                    self.quarantined_modules.append(library.name)
+                return library.name
+        return None
 
     # -- syscall services --------------------------------------------------------------
 
@@ -289,7 +403,8 @@ class Runtime:
         cpu = self.new_cpu(start, args=[entry_fn, arg])
         task = _BlockableCpuTask(cpu, name=f"thread{cpu.thread_id}",
                                  burst=self._tasks_by_cpu[
-                                     id(self.cpus[0])].burst)
+                                     id(self.cpus[0])].burst,
+                                 runtime=self)
         self._scheduler.add(task)
         self._tasks_by_cpu[id(cpu)] = task
         return cpu.thread_id

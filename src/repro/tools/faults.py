@@ -1,0 +1,148 @@
+"""``python -m repro.tools.faults`` — the fault-campaign runner CLI.
+
+Drives :mod:`repro.faults` through the same campaign/result-store
+machinery as the benchmark matrix: scenarios fan out across the worker
+pool, per-cell records land in a JSONL store, and the survival matrix
+is (re)generated as a ``benchmarks/results/fault_survival.txt``
+artifact.  Exits non-zero on any forged-edge admission, so CI can use
+the campaign as the fail-safe regression gate.
+
+Examples::
+
+    python -m repro.tools.faults campaign --jobs 4
+    python -m repro.tools.faults campaign \\
+        --injectors bitflip-tary stale-version \\
+        --workloads dispatch returns --policies halt --no-load
+    python -m repro.tools.faults report \\
+        --results benchmarks/results/fault_results.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.faults.campaign import (RECORD_KIND, render_survival,
+                                   run_fault_campaign,
+                                   write_survival_report)
+from repro.faults.harness import (INJECTORS, LOAD_PHASES, POLICIES,
+                                  TABLE_WORKLOADS)
+from repro.infra.results import ResultStore, load_records
+
+DEFAULT_RESULTS_DIR = "benchmarks/results"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-faults",
+        description="Deterministic fault-injection campaigns against "
+                    "the MCFI runtime")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser(
+        "campaign", help="run the injector × workload × policy matrix")
+    campaign.add_argument("--injectors", nargs="+", default=None,
+                          choices=INJECTORS, metavar="NAME",
+                          help=f"injector subset (default: all; known: "
+                               f"{', '.join(INJECTORS)})")
+    campaign.add_argument("--workloads", nargs="+", default=None,
+                          choices=tuple(TABLE_WORKLOADS),
+                          metavar="NAME",
+                          help="table workload subset (default: all)")
+    campaign.add_argument("--policies", nargs="+", default=None,
+                          choices=POLICIES, metavar="POLICY",
+                          help="violation policy subset (default: all)")
+    campaign.add_argument("--seeds", nargs="+", type=int, default=[0, 1],
+                          metavar="N", help="scheduler seeds per cell")
+    campaign.add_argument("--load-phases", nargs="+", default=None,
+                          choices=LOAD_PHASES, metavar="PHASE",
+                          help="dlopen phases to fail (default: all)")
+    campaign.add_argument("--no-load", action="store_true",
+                          help="skip the loader-plane cells")
+    campaign.add_argument("--scrub", action="store_true",
+                          help="run the table scrubber alongside "
+                               "each table-plane cell")
+    campaign.add_argument("--jobs", type=int, default=1, metavar="N")
+    campaign.add_argument("--timeout", type=float, default=120.0,
+                          metavar="SECONDS", help="per-cell timeout")
+    campaign.add_argument("--retries", type=int, default=1,
+                          help="extra attempts per failed cell")
+    campaign.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR,
+                          metavar="DIR",
+                          help="where the JSONL store and the survival "
+                               "report land")
+
+    report = sub.add_parser(
+        "report", help="regenerate the survival matrix from JSONL")
+    report.add_argument("--results", default=None, metavar="FILE",
+                        help="JSONL file (default: "
+                             "<results-dir>/fault_results.jsonl)")
+    report.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR,
+                        metavar="DIR")
+    return parser
+
+
+def _campaign(args: argparse.Namespace) -> int:
+    results_dir = Path(args.results_dir)
+    store = ResultStore(results_dir / "fault_results.jsonl")
+    summary = run_fault_campaign(
+        injectors=args.injectors or INJECTORS,
+        workloads=args.workloads or tuple(TABLE_WORKLOADS),
+        policies=args.policies or POLICIES,
+        seeds=args.seeds,
+        load_phases=() if args.no_load else
+        (args.load_phases or LOAD_PHASES),
+        scrub=args.scrub, jobs=args.jobs, store=store,
+        timeout=args.timeout, retries=args.retries)
+    records = [r for r in store.records()
+               if r.get("kind") == RECORD_KIND]
+    report_path = write_survival_report(
+        records, results_dir / "fault_survival.txt")
+    print(f"ran {summary['completed']}/{summary['cells']} fault cells "
+          f"with {args.jobs} worker(s) in {summary['wall_seconds']}s")
+    outcomes = ", ".join(f"{k}={v}" for k, v in
+                         sorted(summary["outcomes"].items()))
+    print(f"outcomes: {outcomes}")
+    print(f"probes: {summary['probes']}  "
+          f"escalations: {summary['escalations']}  "
+          f"forged-edge admissions: {summary['forged']}")
+    print(f"results: {store.path}")
+    print(f"report:  {report_path}")
+    status = 0
+    if summary["failures"]:
+        print("FAILED cells: " + ", ".join(summary["failures"]),
+              file=sys.stderr)
+        status = 1
+    if summary["forged"]:
+        print(f"SECURITY FAILURE: {summary['forged']} forged-edge "
+              "admission(s)", file=sys.stderr)
+        status = 1
+    return status
+
+
+def _report(args: argparse.Namespace) -> int:
+    path = Path(args.results) if args.results else \
+        Path(args.results_dir) / "fault_results.jsonl"
+    records = [r for r in load_records(path)
+               if r.get("kind") == RECORD_KIND]
+    if not records:
+        print(f"no fault records at {path}", file=sys.stderr)
+        return 1
+    print(render_survival(records))
+    report_path = write_survival_report(
+        records, Path(args.results_dir) / "fault_survival.txt")
+    print(f"regenerated {report_path}")
+    return 1 if sum(r.get("forged", 0) for r in records) else 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "campaign":
+        return _campaign(args)
+    return _report(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,21 +87,32 @@ def conditional_attacker(memory: Memory,
         yield
 
 
-def table_tamper_attacker(tables, forged_id: int,
-                          index: int) -> Generator[None, None, None]:
-    """Attempt to corrupt the ID tables directly.
+def table_tamper_attacker(tables, forged_id: int, index: int,
+                          sink: Optional[list] = None,
+                          ) -> Generator[None, None, "AttackReport"]:
+    """Attempt to corrupt the ID tables directly, and report.
 
     The tables live outside the sandboxed address space, so application
     threads (and therefore the in-sandbox attacker) have *no* store
-    instruction that can reach them; this attacker documents that fact
-    by raising if the tamper unexpectedly succeeds.  Used in negative
-    tests of the table-protection invariant.
+    instruction that can reach them.  The attacker observes one
+    scheduler step and produces an :class:`AttackReport`: ``blocked``
+    when the targeted entry still holds its original value, and
+    ``hijacked`` when the forged ID landed (only possible for a
+    privileged writer — a table-protection regression).  The report is
+    the generator's return value and, since scheduler tasks discard
+    return values, is also appended to ``sink`` when given.
     """
     before = tables.read_tary(index)
     yield
     after = tables.read_tary(index)
-    if after != before and after == forged_id:
-        raise AssertionError("ID table was corrupted from the sandbox")
+    hijacked = after != before and after == forged_id
+    report = AttackReport(
+        name="table-tamper", hijacked=hijacked, blocked=not hijacked,
+        detail=(f"tary[{index}] forged to {after:#x}" if hijacked else
+                f"tary[{index}] intact ({after:#x})"))
+    if sink is not None:
+        sink.append(report)
+    return report
 
 
 class AttackReport:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Generator, List, Optional
+from typing import Generator, List, Mapping, Optional
 
 from repro.errors import CfiViolation, MemoryFault, \
     RuntimeError_, VMError
@@ -105,9 +105,33 @@ class Scheduler:
     fault occurs, or ``max_ticks`` is exceeded (``VMError``).
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0,
+                 weights: Optional[Mapping[str, float]] = None) -> None:
+        """``weights`` biases task selection by task name (default 1.0
+        each).  The fault plane uses this for adversarial
+        interleavings: weighting an updater or attacker far above the
+        victim thread concentrates scheduling on the windows where a
+        race could admit a forged edge.  Selection stays seeded and
+        fully deterministic."""
         self._rng = random.Random(seed)
         self.tasks: List[Task] = []
+        self.weights = dict(weights) if weights else None
+
+    def _pick(self, live: List[Task]) -> Task:
+        if len(live) == 1:
+            return live[0]
+        if not self.weights:
+            return live[self._rng.randrange(len(live))]
+        totals = [max(0.0, self.weights.get(t.name, 1.0)) for t in live]
+        total = sum(totals)
+        if total <= 0.0:
+            return live[self._rng.randrange(len(live))]
+        point = self._rng.random() * total
+        for task, weight in zip(live, totals):
+            point -= weight
+            if point < 0:
+                return task
+        return live[-1]
 
     def add(self, task: Task) -> Task:
         self.tasks.append(task)
@@ -127,8 +151,7 @@ class Scheduler:
             live = [t for t in self.tasks if t.alive]
             if not live:
                 break
-            task = live[self._rng.randrange(len(live))] if len(live) > 1 \
-                else live[0]
+            task = self._pick(live)
             try:
                 task.step()
             except ProgramExit as program_exit:

@@ -66,9 +66,11 @@ class TestTableTamper:
         tables.write_tary(0, 0x11)
         mem = Memory()
         mem.map(0x100000, PAGE_SIZE, writable=True)
+        reports = []
         scheduler = Scheduler(seed=0)
         scheduler.add(GeneratorTask(
-            table_tamper_attacker(tables, forged_id=0x99, index=0),
+            table_tamper_attacker(tables, forged_id=0x99, index=0,
+                                  sink=reports),
             "tamper"))
         scheduler.add(GeneratorTask(
             write_word_attacker(mem, 0x100000, 0x99, repeat=False),
@@ -76,15 +78,34 @@ class TestTableTamper:
         outcome = scheduler.run()
         assert outcome.ok
         assert tables.read_tary(0) == 0x11
+        assert len(reports) == 1
+        assert reports[0].blocked and not reports[0].hijacked
+        assert "BLOCKED" in repr(reports[0])
 
-    def test_detects_hypothetical_corruption(self):
+    def test_reports_hypothetical_corruption(self):
+        tables = TableMemory()
+        tables.write_tary(0, 0x11)
+        reports = []
+        attacker = table_tamper_attacker(tables, forged_id=0x99, index=0,
+                                         sink=reports)
+        next(attacker)
+        tables.write_tary(0, 0x99)  # simulate a (privileged) corruption
+        with pytest.raises(StopIteration) as stop:
+            next(attacker)
+        report = stop.value.value
+        assert report.hijacked and not report.blocked
+        assert reports == [report]
+        assert "0x99" in report.detail
+
+    def test_unrelated_writes_are_not_hijacks(self):
         tables = TableMemory()
         tables.write_tary(0, 0x11)
         attacker = table_tamper_attacker(tables, forged_id=0x99, index=0)
         next(attacker)
-        tables.write_tary(0, 0x99)  # simulate a (privileged) corruption
-        with pytest.raises(AssertionError):
+        tables.write_tary(0, 0x12)  # changed, but not the forged value
+        with pytest.raises(StopIteration) as stop:
             next(attacker)
+        assert stop.value.value.blocked
 
 
 class TestAttackReport:

@@ -179,6 +179,162 @@ class TestJsonlSurfacing:
         assert by_job["crashy"]["status"] == "crashed"
 
 
+class TestFinalAttemptTimeout:
+    """Regression: a job that times out on its *final* attempt must
+    record the full attempt count, in the result and in JSONL."""
+
+    def test_timeout_on_final_attempt_counts_all_attempts(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        pool = WorkerPool(workers=2)
+        [result] = pool.run([Job(fn=_sleep_forever, timeout=0.3,
+                                 retries=2, id="wedged")])
+        store.append_job(result, target="wedged")
+        assert not result.ok and result.timed_out
+        assert result.attempts == 3  # 1 try + 2 retries, all timed out
+        # Cumulative across attempts: three 0.3s timeouts, not one.
+        assert result.seconds >= 0.8
+
+        [record] = store.records()
+        assert record["status"] == "timeout"
+        assert record["attempts"] == 3
+
+    def test_seconds_cumulative_across_mixed_attempts(self, tmp_path):
+        counter = str(tmp_path / "attempts")
+        pool = WorkerPool(workers=2)
+        [result] = pool.run([Job(fn=_flaky, args=(counter, 2),
+                                 retries=2)])
+        assert result.ok and result.attempts == 3
+        assert result.seconds > 0
+
+
+class TestBackoff:
+    def test_retry_delay_schedule_is_exponential(self):
+        pool = WorkerPool(backoff=0.1, backoff_factor=2.0, jitter=0.0)
+        assert pool._retry_delay(1) == pytest.approx(0.1)
+        assert pool._retry_delay(2) == pytest.approx(0.2)
+        assert pool._retry_delay(3) == pytest.approx(0.4)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        delays_a = [WorkerPool(backoff=0.1, jitter=0.05,
+                               seed=42)._retry_delay(1)
+                    for _ in range(3)]
+        delays_b = [WorkerPool(backoff=0.1, jitter=0.05,
+                               seed=42)._retry_delay(1)
+                    for _ in range(3)]
+        assert delays_a == delays_b  # replayable
+        assert all(0.1 <= d <= 0.15 for d in delays_a)
+
+    def test_no_backoff_by_default(self):
+        assert WorkerPool()._retry_delay(1) == 0.0
+
+    def test_backoff_spaces_retries_in_forked_mode(self, tmp_path):
+        counter = str(tmp_path / "attempts")
+        pool = WorkerPool(workers=2, backoff=0.3, backoff_factor=1.0)
+        start = time.perf_counter()
+        [result] = pool.run([Job(fn=_flaky, args=(counter, 1),
+                                 retries=1)])
+        elapsed = time.perf_counter() - start
+        assert result.ok and result.attempts == 2
+        assert elapsed >= 0.3  # the retry waited out the backoff
+
+    def test_backoff_applies_inline_too(self, tmp_path):
+        counter = str(tmp_path / "attempts")
+        pool = WorkerPool(retries=1, backoff=0.2, backoff_factor=1.0)
+        pool._ctx = None
+
+        def flaky_local():
+            return _flaky(counter, 1)
+
+        start = time.perf_counter()
+        [result] = pool.run([Job(fn=flaky_local)])
+        assert result.ok and result.attempts == 2
+        assert time.perf_counter() - start >= 0.2
+
+
+class TestCircuitBreaker:
+    def test_breaker_opens_after_threshold(self):
+        pool = WorkerPool(workers=1, breaker_threshold=2)
+        results = pool.run([
+            Job(fn=_raise_value_error, id=f"j{i}", group="broken")
+            for i in range(5)])
+        assert [r.error_type for r in results[:2]] == \
+            ["ValueError", "ValueError"]
+        assert all(r.error_type == "CircuitOpen" for r in results[2:])
+        assert all(r.attempts == 0 for r in results[2:])
+        assert all("circuit open" in r.error for r in results[2:])
+
+    def test_success_resets_the_count(self):
+        pool = WorkerPool(workers=1, breaker_threshold=2)
+        results = pool.run([
+            Job(fn=_raise_value_error, group="g"),
+            Job(fn=_square, args=(3,), group="g"),
+            Job(fn=_raise_value_error, group="g"),
+            Job(fn=_raise_value_error, group="g"),
+            Job(fn=_square, args=(4,), group="g"),  # breaker now open
+        ])
+        assert results[1].ok
+        assert results[4].error_type == "CircuitOpen"
+
+    def test_groups_are_independent(self):
+        pool = WorkerPool(workers=1, breaker_threshold=1)
+        results = pool.run([
+            Job(fn=_raise_value_error, group="bad"),
+            Job(fn=_square, args=(5,), group="good"),
+            Job(fn=_raise_value_error, group="bad"),
+        ])
+        assert results[1].ok and results[1].value == 25
+        assert results[2].error_type == "CircuitOpen"
+
+    def test_ungrouped_jobs_never_trip(self):
+        pool = WorkerPool(workers=1, breaker_threshold=1)
+        results = pool.run([Job(fn=_raise_value_error)
+                            for _ in range(3)])
+        assert all(r.error_type == "ValueError" for r in results)
+
+    def test_breaker_state_resets_between_runs(self):
+        pool = WorkerPool(workers=1, breaker_threshold=1)
+        [first] = pool.run([Job(fn=_raise_value_error, group="g")])
+        assert first.error_type == "ValueError"
+        [second] = pool.run([Job(fn=_raise_value_error, group="g")])
+        assert second.error_type == "ValueError"  # fresh breaker
+
+    def test_breaker_applies_inline(self):
+        pool = WorkerPool(breaker_threshold=1)
+        pool._ctx = None
+        results = pool.run([Job(fn=_raise_value_error, group="g"),
+                            Job(fn=_square, args=(2,), group="g")])
+        assert results[1].error_type == "CircuitOpen"
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            WorkerPool(breaker_threshold=0)
+
+
+class TestWorkerFaultPlan:
+    """The repro.faults worker-fault injector through the real pool."""
+
+    def test_plan_letters_drive_attempts(self, tmp_path):
+        from repro.faults.injectors import faulty_job
+
+        attempt_file = str(tmp_path / "attempts")
+        body = faulty_job(_square, plan="ec.", attempt_file=attempt_file)
+        pool = WorkerPool(workers=1, timeout=5.0)
+        [result] = pool.run([Job(fn=body, args=(6,), retries=2)])
+        # Attempt 1 raises, attempt 2 crashes, attempt 3 succeeds.
+        assert result.ok and result.value == 36
+        assert result.attempts == 3
+
+    def test_timeout_plan_final_attempt(self, tmp_path):
+        from repro.faults.injectors import faulty_job
+
+        attempt_file = str(tmp_path / "attempts")
+        body = faulty_job(_square, plan="t", attempt_file=attempt_file)
+        pool = WorkerPool(workers=1)
+        [result] = pool.run([Job(fn=body, args=(2,), timeout=0.3,
+                                 retries=0)])
+        assert result.timed_out and result.attempts == 1
+
+
 class TestInlineFallback:
     def test_inline_mode_without_fork(self):
         pool = WorkerPool(workers=2, retries=1)

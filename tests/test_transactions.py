@@ -20,7 +20,7 @@ from repro.core.transactions import (
     tx_check,
     tx_check_gen,
 )
-from repro.errors import RuntimeError_
+from repro.errors import RuntimeError_, TableIntegrityError
 from repro.vm.memory import TableMemory
 from repro.vm.scheduler import GeneratorTask, Scheduler
 
@@ -280,6 +280,111 @@ class TestLinearizability:
                 seen_allowed = True
             else:
                 assert not seen_allowed, "policy flapped old<->new"
+
+
+class TestUpdateOrdering:
+    """The TxUpdate ordering property (Fig. 3): Tary before barrier
+    before Bary.  Even with an adversarially delayed or dropped
+    barrier, a reader interleaved between the Tary and Bary write
+    batches must retry (version mismatch) or observe a consistent
+    policy — never a forged-valid edge."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.sampled_from(["delay", "drop"]))
+    def test_reader_between_tary_and_bary_never_forges(self, seed, mode):
+        from repro.faults.injectors import TornUpdateTransaction
+
+        targets = {0x1000 + 4 * i: i % 3 for i in range(24)}
+        branches = {s: s % 3 for s in range(6)}
+        tables = make_tables(targets, branches)
+        lock = UpdateLock()
+        denied = [(s, a) for s in branches for a in targets
+                  if branches[s] != targets[a]][:12]
+        allowed = [(s, a) for s in branches for a in targets
+                   if branches[s] == targets[a]][:12]
+        outcomes = []
+
+        def reader():
+            for _ in range(4):
+                for site, addr in denied:
+                    sink = []
+                    yield from tx_check_gen(tables, site, addr, sink)
+                    outcomes.append(("deny", sink[0]))
+                for site, addr in allowed:
+                    sink = []
+                    yield from tx_check_gen(tables, site, addr, sink)
+                    outcomes.append(("allow", sink[0]))
+                yield
+
+        torn = TornUpdateTransaction(
+            tables, lock, new_tary=dict(targets), new_bary=dict(branches),
+            batch=1, mode=mode, stall=12, owner="torn")
+        scheduler = Scheduler(seed=seed)
+        scheduler.add_generator(reader(), "reader")
+        scheduler.add_generator(torn.run(), "torn")
+        result = scheduler.run(max_ticks=500_000)
+        assert result.ok
+        assert outcomes, "reader made no observations"
+        for expectation, (outcome, retries) in outcomes:
+            # The torn window may force retries, but every completed
+            # check lands on the trusted policy: a denied edge is NEVER
+            # admitted, with or without the barrier.
+            if expectation == "deny":
+                assert outcome != CheckResult.ALLOWED
+            else:
+                assert outcome == CheckResult.ALLOWED
+            assert retries >= 0
+
+    def test_torn_modes_validated(self):
+        from repro.faults.injectors import TornUpdateTransaction
+
+        tables = make_tables({0x1000: 1}, {0: 1})
+        with pytest.raises(ValueError):
+            TornUpdateTransaction(tables, UpdateLock(), new_tary={},
+                                  new_bary={}, mode="sideways")
+
+
+class TestBoundedCheckRetry:
+    """A checker caught in a never-closing version window must not spin
+    forever: the retry budget escalates to TableIntegrityError."""
+
+    def _stale_tables(self):
+        # Target rewound to an older version with no update in flight:
+        # the retry window never closes.
+        tables = make_tables({0x1000: 7}, {0: 7}, version=3)
+        tables.memory.write_tary(tary_index(0x1000), pack_id(7, 2))
+        return tables
+
+    def test_tx_check_escalates(self):
+        with pytest.raises(TableIntegrityError) as err:
+            tx_check(self._stale_tables(), 0, 0x1000, max_retries=16)
+        assert err.value.retries > 16
+
+    def test_tx_check_gen_escalates(self):
+        gen = tx_check_gen(self._stale_tables(), 0, 0x1000, [],
+                           max_retries=16)
+        with pytest.raises(TableIntegrityError):
+            for _ in gen:
+                pass
+
+    def test_budget_generous_enough_for_real_updates(self):
+        """A genuine in-flight update closes its window in far fewer
+        steps than the default budget, so escalation never fires."""
+        tables = make_tables({0x1000 + 4 * i: 1 for i in range(8)},
+                             {0: 1})
+        lock = UpdateLock()
+        sink = []
+
+        def checker():
+            yield from tx_check_gen(tables, 0, 0x1000, sink)
+
+        scheduler = Scheduler(seed=5)
+        scheduler.add_generator(checker(), "checker")
+        scheduler.add_generator(
+            refresh_transaction(tables, lock, batch=1).run(), "updater")
+        assert scheduler.run(max_ticks=100_000).ok
+        assert sink[0][0] == CheckResult.ALLOWED
 
 
 class TestPeriodicUpdater:
