@@ -28,6 +28,7 @@ from repro.cfg.eqclass import UnionFind
 from repro.core.idencoding import MAX_ECN
 from repro.errors import CfgGenerationError
 from repro.module.auxinfo import AuxInfo
+from repro.obs import OBS
 
 
 @dataclass
@@ -66,6 +67,21 @@ def generate_cfg(aux: AuxInfo,
     entry addresses (supplied by the dynamic linker); PLT branch sites
     target exactly their resolved symbol.
     """
+    with OBS.tracer.span("cfg.generate") as span:
+        cfg = _generate_cfg(aux, plt_resolution)
+        stats = cfg.stats()
+        span.set(ibs=stats["IBs"], ibts=stats["IBTs"],
+                 eqcs=stats["EQCs"])
+        if OBS.enabled:
+            metrics = OBS.metrics
+            metrics.counter("cfg.generations").inc()
+            metrics.gauge("cfg.eqcs").set(stats["EQCs"])
+            metrics.histogram("cfg.ibts").observe(stats["IBTs"])
+        return cfg
+
+
+def _generate_cfg(aux: AuxInfo,
+                  plt_resolution: Optional[Dict[str, int]]) -> Cfg:
     matcher = TypeMatcher(list(aux.functions.values()))
     graph = build_call_graph(aux)
     union = UnionFind()

@@ -38,6 +38,7 @@ from repro.core.idencoding import (
 )
 from repro.core.tables import IdTables, bary_index, tary_index
 from repro.errors import MemoryFault, RuntimeError_, TableIntegrityError
+from repro.obs import OBS
 
 #: Default retry budget for the scheduler-friendly check transaction.
 #: Generous — a single in-flight update costs a handful of retries —
@@ -54,6 +55,20 @@ class CheckResult:
     INVALID_TARGET = "invalid-target"
     ECN_MISMATCH = "ecn-mismatch"
     OUT_OF_RANGE = "out-of-range"
+
+
+def _note_check(result: str, retries: int) -> None:
+    """Record one finished check transaction (obs-enabled path only)."""
+    metrics = OBS.metrics
+    metrics.counter("tx.check." + result).inc()
+    if retries:
+        metrics.counter("tx.check.retries").inc(retries)
+
+
+def _note_escalation(retries: int) -> None:
+    metrics = OBS.metrics
+    metrics.counter("tx.check.escalations").inc()
+    metrics.counter("tx.check.retries").inc(retries)
 
 
 def tx_check(tables: IdTables, site: int, target: int,
@@ -74,20 +89,27 @@ def tx_check(tables: IdTables, site: int, target: int,
         try:
             target_id = memory.read_tary(target)
         except MemoryFault:
-            return CheckResult.OUT_OF_RANGE, retries
-        if branch_id == target_id:
-            return CheckResult.ALLOWED, retries
-        if not is_valid_id(target_id):
-            return CheckResult.INVALID_TARGET, retries
-        if not same_version(branch_id, target_id):
-            retries += 1
-            if retries > max_retries:
-                raise TableIntegrityError(
-                    "check transaction livelocked: version mismatch "
-                    f"persisted through {retries} retries",
-                    retries=retries)
-            continue
-        return CheckResult.ECN_MISMATCH, retries
+            outcome = CheckResult.OUT_OF_RANGE
+        else:
+            if branch_id == target_id:
+                outcome = CheckResult.ALLOWED
+            elif not is_valid_id(target_id):
+                outcome = CheckResult.INVALID_TARGET
+            elif not same_version(branch_id, target_id):
+                retries += 1
+                if retries > max_retries:
+                    if OBS.enabled:
+                        _note_escalation(retries)
+                    raise TableIntegrityError(
+                        "check transaction livelocked: version mismatch "
+                        f"persisted through {retries} retries",
+                        retries=retries)
+                continue
+            else:
+                outcome = CheckResult.ECN_MISMATCH
+        if OBS.enabled:
+            _note_check(outcome, retries)
+        return outcome, retries
 
 
 def tx_check_gen(tables: IdTables, site: int, target: int,
@@ -127,6 +149,8 @@ def tx_check_gen(tables: IdTables, site: int, target: int,
         if not same_version(branch_id, target_id):
             retries += 1
             if retries > max_retries:
+                if OBS.enabled:
+                    _note_escalation(retries)
                 raise TableIntegrityError(
                     "check transaction livelocked: version mismatch "
                     f"persisted through {retries} retries at site "
@@ -135,6 +159,8 @@ def tx_check_gen(tables: IdTables, site: int, target: int,
             continue
         outcome = (CheckResult.ECN_MISMATCH, retries)
         break
+    if OBS.enabled:
+        _note_check(outcome[0], outcome[1])
     if sink is not None:
         sink.append(outcome)
     return outcome
@@ -156,9 +182,13 @@ class UpdateLock:
         return self._held_by is not None
 
     def acquire_spin(self, owner: str) -> Generator[None, None, None]:
+        waited = 0
         while self._held_by is not None:
+            waited += 1
             yield
         self._held_by = owner
+        if OBS.enabled:
+            OBS.metrics.histogram("tx.lock.wait_steps").observe(waited)
 
     def release(self, owner: str) -> None:
         if self._held_by != owner:
@@ -207,6 +237,9 @@ class UpdateTransaction:
         tables = self.tables
         memory = tables.memory
         yield from self.lock.acquire_spin(self.owner)
+        span = OBS.tracer.begin("tx.update", owner=self.owner)
+        hold_steps = 0
+        tary_writes = bary_writes = 0
         try:
             version = bump_version(tables.version)
 
@@ -220,11 +253,15 @@ class UpdateTransaction:
             for index, ident in writes:
                 memory.write_tary(index, ident)
                 count += 1
+                tary_writes += 1
                 if count % self.batch == 0:
+                    hold_steps += 1
                     yield
 
             # -- memory write barrier (linearization point) ---------------
-            yield from self._barrier()
+            for _ in self._barrier():
+                hold_steps += 1
+                yield
 
             # -- GOT updates (PLT targets), serialized by a second barrier
             if self.got_updates:
@@ -232,6 +269,7 @@ class UpdateTransaction:
                     raise RuntimeError_("GOT updates without a writer")
                 for address, value in self.got_updates:
                     self.got_writer(address, value)
+                hold_steps += 1
                 yield
 
             # -- updBaryTable ---------------------------------------------
@@ -239,7 +277,9 @@ class UpdateTransaction:
             for site, ecn in self.new_bary.items():
                 memory.write_bary(bary_index(site), pack_id(ecn, version))
                 count += 1
+                bary_writes += 1
                 if count % self.batch == 0:
+                    hold_steps += 1
                     yield
             # Branch sites absent from the new CFG (an unloaded module)
             # are zeroed: a stale branch ID never matches any valid
@@ -247,6 +287,7 @@ class UpdateTransaction:
             for site in tables.bary_ecns:
                 if site not in self.new_bary:
                     memory.write_bary(bary_index(site), 0)
+                    bary_writes += 1
 
             tables.version = version
             tables.tary_ecns = dict(self.new_tary)
@@ -255,6 +296,14 @@ class UpdateTransaction:
             self.completed = True
         finally:
             self.lock.release(self.owner)
+            if OBS.enabled:
+                metrics = OBS.metrics
+                metrics.counter("tx.updates").inc()
+                metrics.counter("tables.tary_writes").inc(tary_writes)
+                metrics.counter("tables.bary_writes").inc(bary_writes)
+                metrics.histogram("tx.lock.hold_steps").observe(hold_steps)
+            span.end(completed=self.completed, tary_writes=tary_writes,
+                     bary_writes=bary_writes, hold_steps=hold_steps)
 
 
 def refresh_transaction(tables: IdTables, lock: UpdateLock,

@@ -30,7 +30,6 @@ from its ``.mcfo``; without one the build is the plain serial pipeline.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.analyzer import AnalysisReport, analyze_source
@@ -47,6 +46,7 @@ from repro.core.transactions import periodic_updater
 from repro.linker.static_linker import LinkedProgram
 from repro.metrics.air import AirResult, air_table
 from repro.metrics.overhead import OverheadResult, SpaceResult
+from repro.obs import OBS, clock
 from repro.runtime.runtime import Runtime, RunResult
 from repro.workloads.spec import BENCHMARKS, Workload, workload
 
@@ -192,12 +192,15 @@ def stm_micro(iterations: int = 200_000,
     for algorithm_cls in ALGORITHMS:
         algorithm = algorithm_cls(n_sites, n_targets, bary, tary)
         check = algorithm.check
-        start = time.perf_counter()
-        for i in range(iterations):
-            site, target = pairs[i & 4095]
-            if not check(site, target):
-                raise AssertionError("micro-benchmark pair not permitted")
-        timings[algorithm.name] = time.perf_counter() - start
+        with OBS.tracer.span("experiments.stm", algorithm=algorithm.name,
+                             iterations=iterations):
+            start = clock.now()
+            for i in range(iterations):
+                site, target = pairs[i & 4095]
+                if not check(site, target):
+                    raise AssertionError(
+                        "micro-benchmark pair not permitted")
+            timings[algorithm.name] = clock.now() - start
     base = timings["MCFI"]
     return {name: duration / base for name, duration in timings.items()}
 
@@ -309,9 +312,9 @@ def cfg_generation_time(benchmarks: Optional[Sequence[str]] = None,
         program = compiled(name, arch, mcfi=True)
         best = float("inf")
         for _ in range(repeats):
-            start = time.perf_counter()
+            start = clock.now()
             generate_cfg(program.module.aux)
-            best = min(best, time.perf_counter() - start)
+            best = min(best, clock.now() - start)
         out[name] = best
     return out
 

@@ -16,7 +16,6 @@ check.
 
 from __future__ import annotations
 
-import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
@@ -30,6 +29,7 @@ from repro.faults.harness import (
 )
 from repro.infra.pool import Job, WorkerPool
 from repro.infra.results import ResultStore
+from repro.obs import clock
 
 #: Record kind used in the JSONL store for one campaign cell.
 RECORD_KIND = "fault"
@@ -39,14 +39,14 @@ def _table_cell(injector: str, workload: str, policy: str,
                 seed: int, scrub: bool) -> Dict[str, Any]:
     record = run_table_scenario(injector, workload=workload,
                                 policy=policy, seed=seed, scrub=scrub)
-    return record.as_dict()
+    return record.to_dict()
 
 
 def _load_cell(phase: str, policy: str, seed: int,
                scheduled: bool) -> Dict[str, Any]:
     record = run_load_scenario(phase, policy=policy, seed=seed,
                                scheduled=scheduled)
-    return record.as_dict()
+    return record.to_dict()
 
 
 def run_fault_campaign(injectors: Sequence[str] = INJECTORS,
@@ -90,11 +90,11 @@ def run_fault_campaign(injectors: Sequence[str] = INJECTORS,
                     args=(phase, policy, seed, seed % 2 == 1),
                     id=f"load-{phase}/dlopen/{policy}/s{seed}",
                     group=f"load-{phase}"))
-    start = time.perf_counter()
+    start = clock.now()
     pool = WorkerPool(workers=max(1, jobs), timeout=timeout,
                       retries=retries, breaker_threshold=4)
     outcomes = pool.run(pool_jobs)
-    wall = time.perf_counter() - start
+    wall = clock.now() - start
     records: List[Dict[str, Any]] = []
     failures: List[str] = []
     for job, outcome in zip(pool_jobs, outcomes):

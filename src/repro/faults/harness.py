@@ -50,6 +50,7 @@ from repro.faults.injectors import (
     version_churn_injector,
 )
 from repro.faults.plane import FaultPlane
+from repro.obs import scoped as obs_scoped
 from repro.vm.memory import TableMemory
 from repro.vm.scheduler import GeneratorTask, Scheduler
 
@@ -99,10 +100,27 @@ class SurvivalRecord:
     ticks: int = 0
     rolled_back: Optional[bool] = None   # loader plane only
     detail: str = ""
+    #: Per-cell metrics snapshot (a :class:`repro.obs.Snapshot` dict):
+    #: the timing/retry evidence the survival matrix carries along.
+    obs: Optional[Dict[str, Any]] = None
+
+    KIND = "fault"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {k: v for k, v in self.__dict__.items() if v is not None}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SurvivalRecord":
+        names = {f for f in cls.__dataclass_fields__}  # noqa: C401
+        return cls(**{k: v for k, v in data.items() if k in names})
 
     def as_dict(self) -> Dict[str, Any]:
-        out = {k: v for k, v in self.__dict__.items() if v is not None}
-        return out
+        """Deprecated alias for :meth:`to_dict` (one-release shim)."""
+        import warnings
+        warnings.warn(
+            "SurvivalRecord.as_dict() is deprecated; use to_dict()",
+            DeprecationWarning, stacklevel=2)
+        return self.to_dict()
 
 
 def _make_tables(workload: str) -> Tuple[IdTables, List[Tuple[int, int]],
@@ -153,6 +171,23 @@ def run_table_scenario(injector: str, workload: str = "dispatch",
         raise ValueError(f"unknown policy {policy!r}")
     record = SurvivalRecord(injector=injector, workload=workload,
                             policy=policy, seed=seed)
+    # Each cell runs under a fresh scoped registry, so the snapshot
+    # attached to the record is this cell's evidence alone (check
+    # retries, lock hold steps, update counts) — and the seeded tracer
+    # keeps the whole thing deterministic.
+    with obs_scoped(seed=seed) as obs_state:
+        try:
+            return _run_table_scenario(record, injector, workload,
+                                       policy, seed, rounds, scrub,
+                                       max_ticks)
+        finally:
+            record.obs = obs_state.metrics.snapshot().to_dict()
+
+
+def _run_table_scenario(record: SurvivalRecord, injector: str,
+                        workload: str, policy: str, seed: int,
+                        rounds: int, scrub: bool,
+                        max_ticks: int) -> SurvivalRecord:
     tables, allowed, denied = _make_tables(workload)
     lock = UpdateLock()
 
@@ -263,13 +298,23 @@ def snapshot_tables(runtime) -> Tuple[bytes, bytes]:
 def run_load_scenario(phase: str, policy: str = "halt", seed: int = 0,
                       scheduled: bool = False) -> SurvivalRecord:
     """Fail a mid-load dlopen at ``phase`` and classify the recovery."""
-    from repro.linker.dynamic_linker import DynamicLinker
-    from repro.runtime.runtime import Runtime
-
     if phase not in LOAD_PHASES:
         raise ValueError(f"unknown load phase {phase!r}")
     record = SurvivalRecord(injector=f"load-{phase}", workload="dlopen",
                             policy=policy, seed=seed)
+    with obs_scoped(seed=seed) as obs_state:
+        try:
+            return _run_load_scenario(record, phase, policy, seed,
+                                      scheduled)
+        finally:
+            record.obs = obs_state.metrics.snapshot().to_dict()
+
+
+def _run_load_scenario(record: SurvivalRecord, phase: str, policy: str,
+                       seed: int, scheduled: bool) -> SurvivalRecord:
+    from repro.linker.dynamic_linker import DynamicLinker
+    from repro.runtime.runtime import Runtime
+
     program, library = _loader_artifacts()
     runtime = Runtime(program, violation_policy=policy)
     plane = FaultPlane(seed=seed).arm(f"dlopen.{phase}")

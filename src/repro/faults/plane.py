@@ -42,9 +42,24 @@ class FaultEvent:
     sequence: int          # nth check() call on this plane (0-based)
     detail: str = ""
 
-    def as_dict(self) -> Dict[str, object]:
+    KIND = "fault-event"
+
+    def to_dict(self) -> Dict[str, object]:
         return {"point": self.point, "sequence": self.sequence,
                 "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultEvent":
+        return cls(point=data["point"], sequence=data["sequence"],
+                   detail=data.get("detail", ""))
+
+    def as_dict(self) -> Dict[str, object]:
+        """Deprecated alias for :meth:`to_dict` (one-release shim)."""
+        import warnings
+        warnings.warn(
+            "FaultEvent.as_dict() is deprecated; use to_dict()",
+            DeprecationWarning, stacklevel=2)
+        return self.to_dict()
 
 
 @dataclass

@@ -201,9 +201,15 @@ class ArtifactCache:
     # fast — the model *cycles* are what the artifact reports, and
     # those are identical whether re-simulated or replayed.
 
+    #: Bump when the pickled RunResult schema changes shape, so stale
+    #: cache entries from an older layout are never unpickled into the
+    #: new dataclass (the ``obs`` field arrived in schema 2).
+    RUN_SCHEMA = 2
+
     def run_key(self, program_key: str, **params: Any) -> str:
         return self._key({"kind": "run", "program": program_key,
                           "params": dict(sorted(params.items())),
+                          "schema": self.RUN_SCHEMA,
                           "toolchain": TOOLCHAIN_TAG})
 
     def _run_path(self, key: str) -> Path:

@@ -26,7 +26,6 @@ and every compile in the process, including the ones
 from __future__ import annotations
 
 import os
-import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.infra.cache import ArtifactCache, CacheStats, open_cache
@@ -36,6 +35,7 @@ from repro.infra.results import ResultStore
 from repro.infra.targets import Target, target as get_target
 from repro.linker.static_linker import LinkedProgram, link
 from repro.mir.codegen import RawModule
+from repro.obs import clock
 from repro.toolchain import compile_module
 
 # ---------------------------------------------------------------------------
@@ -155,7 +155,11 @@ def run_result(target_name: str, arch: str = "x64", mcfi: bool = True,
         return cached
     result = Runtime(build_program(target_name, arch=arch, mcfi=mcfi,
                                    cache=cache)).run()
+    # Cache the result without its obs snapshot: a replayed run did no
+    # work, so a stale snapshot would misattribute metrics to it.
+    obs_snapshot, result.obs = result.obs, None
     cache.put_run(run_key, result)
+    result.obs = obs_snapshot
     return result
 
 
@@ -176,10 +180,10 @@ def run_target(target_name: str, instance_name: str,
     if cache is None:
         cache = default_cache()
     before = cache.stats.snapshot() if cache is not None else CacheStats()
-    start = time.perf_counter()
+    start = clock.now()
     program = build_program(target_name, arch=inst.arch, mcfi=inst.mcfi,
                             cache=cache)
-    build_seconds = time.perf_counter() - start
+    build_seconds = clock.now() - start
     delta = (cache.stats.delta(before) if cache is not None
              else CacheStats())
     records: List[Dict[str, Any]] = [{
@@ -189,19 +193,18 @@ def run_target(target_name: str, instance_name: str,
     }]
     if inst.policy == "native" or inst.policy == "mcfi":
         if execute:
-            start = time.perf_counter()
+            start = clock.now()
             result = run_result(target_name, arch=inst.arch,
                                 mcfi=inst.mcfi, cache=cache)
+            fields = result.to_dict()
+            fields.pop("kind", None)
+            fields["output"] = fields["output"].strip()
             records.append({
                 "kind": "run", "target": target_name,
                 "instance": inst.name, "arch": inst.arch,
                 "mcfi": inst.mcfi,
-                "status": "ok" if result.ok else "fault",
-                "cycles": result.cycles,
-                "instructions": result.instructions,
-                "output": result.output.decode("utf-8",
-                                               errors="replace").strip(),
-                "seconds": round(time.perf_counter() - start, 6),
+                "seconds": round(clock.now() - start, 6),
+                **fields,
             })
         if inst.mcfi:
             from repro.cfg.generator import generate_cfg
@@ -262,7 +265,7 @@ def run_campaign(target_names: Sequence[str],
         configure(cache_dir)
     instances = expand(list(instance_names))
     cells = [(t, i.name) for t in target_names for i in instances]
-    start = time.perf_counter()
+    start = clock.now()
     # Group jobs by target so a target whose every cell fails trips the
     # breaker instead of timing out once per instance.
     pool = WorkerPool(workers=max(1, jobs), timeout=timeout,
@@ -271,7 +274,7 @@ def run_campaign(target_names: Sequence[str],
         Job(fn=run_target, args=(t, i), kwargs={"execute": execute},
             id=f"{t}/{i}", group=t)
         for t, i in cells])
-    wall = time.perf_counter() - start
+    wall = clock.now() - start
     stats = CacheStats()
     failures: List[str] = []
     for (t, i), outcome in zip(cells, outcomes):
@@ -333,12 +336,12 @@ def _artifact_job(artifact: str, name: str,
     """Worker body: one benchmark's slice of one artifact."""
     cache = default_cache()
     before = cache.stats.snapshot() if cache is not None else None
-    start = time.perf_counter()
+    start = clock.now()
     result = _artifact_fn(artifact)([name], tuple(archs))
     delta = (cache.stats.delta(before).as_dict()
              if cache is not None else {})
     return {"result": result,
-            "seconds": round(time.perf_counter() - start, 6),
+            "seconds": round(clock.now() - start, 6),
             "cache": delta}
 
 

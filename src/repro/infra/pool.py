@@ -36,8 +36,11 @@ import multiprocessing
 import random
 import time
 import traceback
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs import OBS, clock, wall_metrics_enabled
 
 _POLL_SECONDS = 0.01
 
@@ -77,18 +80,35 @@ class JobResult:
     timed_out: bool = False
     crashed: bool = False
 
-    def record(self) -> Dict[str, Any]:
+    KIND = "job"
+
+    @property
+    def status(self) -> str:
+        if self.ok:
+            return "ok"
+        if self.timed_out:
+            return "timeout"
+        if self.crashed:
+            return "crashed"
+        return "error"
+
+    def to_dict(self) -> Dict[str, Any]:
         """JSONL-friendly summary (value omitted: it may be large)."""
         return {
             "job": self.id,
-            "status": "ok" if self.ok else (
-                "timeout" if self.timed_out else
-                "crashed" if self.crashed else "error"),
+            "status": self.status,
             "attempts": self.attempts,
             "seconds": round(self.seconds, 6),
             "error": self.error,
             "error_type": self.error_type,
         }
+
+    def record(self) -> Dict[str, Any]:
+        """Deprecated alias for :meth:`to_dict` (one-release shim)."""
+        warnings.warn(
+            "JobResult.record() is deprecated; use to_dict()",
+            DeprecationWarning, stacklevel=2)
+        return self.to_dict()
 
 
 def _worker(conn, fn, args, kwargs) -> None:
@@ -114,7 +134,11 @@ class _Active:
         self.attempt = attempt
         self.deadline = deadline
         self.spent = spent           # seconds burned by earlier attempts
-        self.started = time.perf_counter()
+        self.started = clock.now()
+        # Spans are recorded parent-side (workers fork; their tracer
+        # state dies with them), one per attempt.
+        self.span = OBS.tracer.begin("pool.job", job=job.id,
+                                     attempt=attempt)
 
 
 class WorkerPool:
@@ -168,11 +192,30 @@ class WorkerPool:
 
     def _breaker_result(self, job: Job) -> JobResult:
         failures = self._failures.get(job.group, 0)
+        if OBS.enabled:
+            OBS.metrics.counter("pool.breaker_fast_fails").inc()
         return JobResult(
             id=job.id, ok=False, attempts=0,
             error=(f"circuit open for group {job.group!r} after "
                    f"{failures} consecutive failures"),
             error_type="CircuitOpen")
+
+    def _note_metrics(self, result: JobResult) -> None:
+        """Record one *final* (post-retry) job outcome."""
+        metrics = OBS.metrics
+        metrics.counter("pool.jobs").inc()
+        if not result.ok:
+            metrics.counter("pool.failures").inc()
+        if result.timed_out:
+            metrics.counter("pool.timeouts").inc()
+        if result.crashed:
+            metrics.counter("pool.crashes").inc()
+        if result.attempts > 1:
+            metrics.counter("pool.retries").inc(result.attempts - 1)
+        if wall_metrics_enabled():
+            # Seconds are wall-clock valued: skipped under a seeded
+            # tracer so deterministic traces stay byte-identical.
+            metrics.histogram("pool.job_seconds").observe(result.seconds)
 
     def _note_outcome(self, job: Job, ok: bool) -> None:
         if job.group is None:
@@ -207,26 +250,35 @@ class WorkerPool:
         if self._breaker_open(job):
             return self._breaker_result(job)
         retries = self.retries if job.retries is None else job.retries
-        start = time.perf_counter()
+        start = clock.now()
         last: Optional[JobResult] = None
         for attempt in range(1, retries + 2):
             if attempt > 1:
                 delay = self._retry_delay(attempt - 1)
                 if delay > 0:
                     time.sleep(delay)
+            span = OBS.tracer.begin("pool.job", job=job.id,
+                                    attempt=attempt)
             try:
                 value = job.fn(*job.args, **(job.kwargs or {}))
+                span.end(status="ok")
                 self._note_outcome(job, ok=True)
-                return JobResult(id=job.id, ok=True, value=value,
-                                 attempts=attempt,
-                                 seconds=time.perf_counter() - start)
+                result = JobResult(id=job.id, ok=True, value=value,
+                                   attempts=attempt,
+                                   seconds=clock.now() - start)
+                if OBS.enabled:
+                    self._note_metrics(result)
+                return result
             except BaseException as exc:  # noqa: BLE001
+                span.end(status="error")
                 last = JobResult(id=job.id, ok=False, error=str(exc),
                                  error_type=type(exc).__name__,
                                  tb=traceback.format_exc(),
                                  attempts=attempt,
-                                 seconds=time.perf_counter() - start)
+                                 seconds=clock.now() - start)
         self._note_outcome(job, ok=False)
+        if OBS.enabled and last is not None:
+            self._note_metrics(last)
         return last
 
     # -- forked execution --------------------------------------------
@@ -240,7 +292,7 @@ class WorkerPool:
         process.start()
         child_conn.close()
         timeout = self.timeout if job.timeout is None else job.timeout
-        deadline = (time.perf_counter() + timeout
+        deadline = (clock.now() + timeout
                     if timeout is not None else None)
         return _Active(index, job, process, parent_conn, attempt, deadline,
                        spent=spent)
@@ -248,7 +300,7 @@ class WorkerPool:
     def _reap(self, active: _Active) -> Optional[JobResult]:
         """Check one in-flight attempt; a result means it finished."""
         job = active.job
-        elapsed = time.perf_counter() - active.started
+        elapsed = clock.now() - active.started
         if active.conn.poll():
             try:
                 message = active.conn.recv()
@@ -278,7 +330,7 @@ class WorkerPool:
                              error_type="WorkerCrash",
                              attempts=active.attempt, seconds=elapsed)
         if active.deadline is not None and \
-                time.perf_counter() > active.deadline:
+                clock.now() > active.deadline:
             active.process.terminate()
             active.process.join(1.0)
             if active.process.is_alive():
@@ -310,7 +362,7 @@ class WorkerPool:
         waiting: List[tuple] = []
         try:
             while pending or active or waiting:
-                now = time.perf_counter()
+                now = clock.now()
                 # Backoff-expired retries re-enter first: they hold a
                 # result slot that everything after them waits on.
                 ready = [w for w in waiting if w[0] <= now]
@@ -331,18 +383,24 @@ class WorkerPool:
                     if outcome is None:
                         still_running.append(entry)
                         continue
+                    entry.span.end(status=outcome.status)
                     outcome.seconds += entry.spent
                     retries = (self.retries if entry.job.retries is None
                                else entry.job.retries)
                     if not outcome.ok and entry.attempt <= retries:
                         delay = self._retry_delay(entry.attempt)
-                        waiting.append((time.perf_counter() + delay,
+                        if delay > 0 and wall_metrics_enabled():
+                            OBS.metrics.histogram(
+                                "pool.backoff_seconds").observe(delay)
+                        waiting.append((clock.now() + delay,
                                         entry.index, entry.job,
                                         entry.attempt + 1,
                                         outcome.seconds))
                         continue
                     outcome.attempts = entry.attempt
                     self._note_outcome(entry.job, ok=outcome.ok)
+                    if OBS.enabled:
+                        self._note_metrics(outcome)
                     results[entry.index] = outcome
                 active = still_running
                 if active or waiting:

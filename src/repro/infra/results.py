@@ -47,9 +47,27 @@ class ResultStore:
     def append_job(self, result: JobResult,
                    **extra: Any) -> Dict[str, Any]:
         """Record one pool job outcome (value omitted)."""
-        fields = result.record()
+        fields = result.to_dict()
         fields.update(extra)
         return self.append("job", **fields)
+
+    def append_record(self, obj: Any, **extra: Any) -> Dict[str, Any]:
+        """Record any object exposing the ``to_dict()`` protocol.
+
+        The record kind comes from the object's ``KIND`` attribute
+        (falling back to the lowercased class name), and every result
+        type in the repo — :class:`~repro.runtime.runtime.RunResult`,
+        :class:`~repro.infra.pool.JobResult`,
+        :class:`~repro.faults.harness.SurvivalRecord`,
+        :class:`~repro.vm.attacker.AttackReport`,
+        :class:`~repro.obs.Snapshot` — lands in the store through this
+        one shape.
+        """
+        fields = obj.to_dict()
+        kind = fields.pop("kind", None) or \
+            getattr(obj, "KIND", None) or type(obj).__name__.lower()
+        fields.update(extra)
+        return self.append(kind, **fields)
 
     def records(self) -> List[Dict[str, Any]]:
         return load_records(self.path)

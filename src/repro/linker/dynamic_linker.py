@@ -49,6 +49,7 @@ from repro.linker.static_linker import build_data_image, layout_data
 from repro.mir.codegen import RawModule
 from repro.module.auxinfo import AuxInfo, FunctionAux, merge_aux
 from repro.module.module import McfiModule, build_module
+from repro.obs import OBS
 from repro.vm.cpu import CPU
 from repro.vm.memory import CODE_LIMIT, DATA_LIMIT, PAGE_SIZE
 from repro.vm.scheduler import GeneratorTask
@@ -107,6 +108,8 @@ class LoadJournal:
     def rollback(self) -> None:
         if self.rolled_back:
             return
+        if OBS.enabled:
+            OBS.metrics.counter("linker.rollbacks").inc()
         linker = self.linker
         runtime = linker.runtime
         # Tables first: restoring the policy is what closes the
@@ -180,31 +183,38 @@ class DynamicLinker:
         if raw is None:
             return 0
 
-        journal = LoadJournal(self)
-        self.last_journal = journal
-        try:
-            library = self._prepare_module(raw)
-            journal.record("prepare")
-            self.fault_plane.check("dlopen.prepare", detail=name)
-            library.taken_names = set(raw.taken_names)
-            handle = self._next_handle
-            self._next_handle += 1
-            library.handle = handle
-            self.loaded[handle] = library
-            self._by_name[name] = handle
+        with OBS.tracer.span("linker.dlopen", library=name) as span:
+            journal = LoadJournal(self)
+            self.last_journal = journal
+            try:
+                library = self._prepare_module(raw)
+                journal.record("prepare")
+                self.fault_plane.check("dlopen.prepare", detail=name)
+                library.taken_names = set(raw.taken_names)
+                handle = self._next_handle
+                self._next_handle += 1
+                library.handle = handle
+                self.loaded[handle] = library
+                self._by_name[name] = handle
 
-            self._republish(cpu, result_for_cpu=handle, journal=journal)
-        except InjectedFault:
-            # Recoverable load failure: restore the pre-load snapshot
-            # and report failure via the dlopen return value.
-            journal.rollback()
-            return 0
-        except ReproError:
-            # Unrecoverable (bad library, exhausted regions): still
-            # roll the tables back before propagating.
-            journal.rollback()
-            raise
-        return handle
+                self._republish(cpu, result_for_cpu=handle,
+                                journal=journal)
+            except InjectedFault:
+                # Recoverable load failure: restore the pre-load
+                # snapshot and report failure via the return value.
+                journal.rollback()
+                span.set(status="rolled-back")
+                return 0
+            except ReproError:
+                # Unrecoverable (bad library, exhausted regions): still
+                # roll the tables back before propagating.
+                journal.rollback()
+                span.set(status="error")
+                raise
+            span.set(status="ok", handle=handle)
+            if OBS.enabled:
+                OBS.metrics.counter("linker.dlopens").inc()
+            return handle
 
     def dlclose(self, handle: int, cpu: Optional[CPU] = None) -> int:
         """Unload a library: regenerate the CFG without it and publish
@@ -218,20 +228,27 @@ class DynamicLinker:
         """
         if handle not in self.loaded:
             return -1
-        journal = LoadJournal(self)
-        self.last_journal = journal
-        library = self.loaded.pop(handle)
-        self._by_name.pop(library.name, None)
-        try:
-            self._republish(cpu, result_for_cpu=0, journal=journal,
-                            after=lambda: self._seal_unloaded(library))
-        except InjectedFault:
-            journal.rollback()
-            return -1
-        except ReproError:
-            journal.rollback()
-            raise
-        return 0
+        with OBS.tracer.span("linker.dlclose") as span:
+            journal = LoadJournal(self)
+            self.last_journal = journal
+            library = self.loaded.pop(handle)
+            self._by_name.pop(library.name, None)
+            span.set(library=library.name)
+            try:
+                self._republish(cpu, result_for_cpu=0, journal=journal,
+                                after=lambda: self._seal_unloaded(library))
+            except InjectedFault:
+                journal.rollback()
+                span.set(status="rolled-back")
+                return -1
+            except ReproError:
+                journal.rollback()
+                span.set(status="error")
+                raise
+            span.set(status="ok")
+            if OBS.enabled:
+                OBS.metrics.counter("linker.dlcloses").inc()
+            return 0
 
     def quarantine(self, handle: int) -> bool:
         """Retire a loaded library without a full republish.
@@ -247,6 +264,8 @@ class DynamicLinker:
         library = self.loaded.get(handle)
         if library is None or library.quarantined:
             return False
+        if OBS.enabled:
+            OBS.metrics.counter("linker.quarantines").inc()
         module = library.module
         tables = self.runtime.id_tables
         memory = tables.memory
@@ -296,15 +315,16 @@ class DynamicLinker:
                    ) -> None:
         """Regenerate the CFG over the current module set and install
         it (with GOT adjustments) via an update transaction."""
-        new_aux = self._rebuild_merged()
-        self.fault_plane.check("dlopen.cfg")
-        plt_resolution = self._resolve_plt(new_aux)
-        got_updates = self._got_updates(plt_resolution)
-        # Reset GOT slots whose symbols are no longer resolved.
-        for symbol, slot in self.runtime.program.got_slots.items():
-            if symbol not in plt_resolution:
-                got_updates.append((slot, 0))
-        cfg = generate_cfg(new_aux, plt_resolution=plt_resolution)
+        with OBS.tracer.span("linker.cfg"):
+            new_aux = self._rebuild_merged()
+            self.fault_plane.check("dlopen.cfg")
+            plt_resolution = self._resolve_plt(new_aux)
+            got_updates = self._got_updates(plt_resolution)
+            # Reset GOT slots whose symbols are no longer resolved.
+            for symbol, slot in self.runtime.program.got_slots.items():
+                if symbol not in plt_resolution:
+                    got_updates.append((slot, 0))
+            cfg = generate_cfg(new_aux, plt_resolution=plt_resolution)
         if journal is not None:
             journal.record("cfg")
         transaction = UpdateTransaction(
@@ -325,6 +345,10 @@ class DynamicLinker:
     # -- internals ---------------------------------------------------------------
 
     def _prepare_module(self, raw: RawModule) -> LoadedLibrary:
+        with OBS.tracer.span("linker.prepare", library=raw.name):
+            return self._prepare_module_inner(raw)
+
+    def _prepare_module_inner(self, raw: RawModule) -> LoadedLibrary:
         runtime = self.runtime
 
         # Resolve imports against the program and previously loaded libs.
@@ -402,14 +426,18 @@ class DynamicLinker:
     def _update_steps(self, transaction: UpdateTransaction,
                       journal: Optional[LoadJournal]):
         """Drive the update transaction with per-step fault checks."""
-        for _ in transaction.run():
-            self.fault_plane.check("dlopen.update")
-            yield
-        if journal is not None:
-            journal.record("update")
-        self.fault_plane.check("dlopen.seal")
-        if journal is not None:
-            journal.record("seal")
+        span = OBS.tracer.begin("linker.update")
+        try:
+            for _ in transaction.run():
+                self.fault_plane.check("dlopen.update")
+                yield
+            if journal is not None:
+                journal.record("update")
+            self.fault_plane.check("dlopen.seal")
+            if journal is not None:
+                journal.record("seal")
+        finally:
+            span.end(completed=transaction.completed)
 
     def _run_update(self, transaction: UpdateTransaction,
                     cpu: Optional[CPU], result: int,

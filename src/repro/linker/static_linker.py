@@ -28,6 +28,7 @@ from repro.errors import LinkError
 from repro.isa.assembler import AsmInstr, BarySlot, Item, Label, assemble
 from repro.mir.codegen import RawModule
 from repro.module.module import DataLayout, McfiModule, build_module
+from repro.obs import OBS
 from repro.vm.memory import CODE_BASE, DATA_BASE, PAGE_SIZE
 
 
@@ -275,6 +276,14 @@ def link(raws: List[RawModule], mcfi: bool = True,
     """
     if not raws:
         raise LinkError("nothing to link")
+    with OBS.tracer.span("toolchain.link", modules=len(raws), mcfi=mcfi):
+        return _link(raws, mcfi, code_base, data_base, entry_symbol,
+                     allow_unresolved)
+
+
+def _link(raws: List[RawModule], mcfi: bool, code_base: int,
+          data_base: int, entry_symbol: str,
+          allow_unresolved: Optional[List[str]]) -> LinkedProgram:
     arch = raws[0].arch
     if any(raw.arch != arch for raw in raws):
         raise LinkError("cannot mix x32 and x64 modules")

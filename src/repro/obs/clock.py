@@ -1,0 +1,58 @@
+"""The one clock path for every reported wall timing.
+
+Every subsystem that reports seconds (the spec CLI, the worker pool,
+the STM micro-benchmark) reads :func:`now` instead of calling
+``time.perf_counter()`` directly, so timing semantics can be audited —
+and, if ever necessary, swapped — in exactly one place.
+
+Deterministic *trace* time is a different thing entirely: a seeded
+:class:`repro.obs.trace.Tracer` stamps spans with a logical tick
+counter and never touches this module.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def now() -> float:
+    """Monotonic seconds with the highest available resolution."""
+    return time.perf_counter()
+
+
+class Stopwatch:
+    """Context-manager stopwatch over :func:`now`.
+
+    ::
+
+        with Stopwatch() as watch:
+            do_work()
+        print(watch.seconds)
+    """
+
+    __slots__ = ("started", "_stopped")
+
+    def __init__(self) -> None:
+        self.started: float = 0.0
+        self._stopped: float | None = None
+
+    def start(self) -> "Stopwatch":
+        self.started = now()
+        self._stopped = None
+        return self
+
+    def stop(self) -> float:
+        self._stopped = now()
+        return self.seconds
+
+    @property
+    def seconds(self) -> float:
+        """Elapsed seconds; live until :meth:`stop` freezes it."""
+        end = self._stopped if self._stopped is not None else now()
+        return end - self.started
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

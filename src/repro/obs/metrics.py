@@ -1,0 +1,221 @@
+"""Counters, gauges, and histograms with a free-when-disabled default.
+
+A :class:`MetricsRegistry` hands out named instruments on demand; a
+:class:`Snapshot` freezes the registry into one JSON-friendly dict that
+round-trips through :meth:`Snapshot.to_dict` / :meth:`Snapshot.from_dict`
+— the same serialization protocol every result object in the repo
+exposes (see ``docs/OBSERVABILITY.md``).
+
+When observability is disabled the package-level singleton points at
+:data:`NULL_METRICS`, whose instruments are three shared immutable
+objects: recording a sample costs one attribute lookup and one no-op
+method call, and allocates nothing.  That is what lets the hot layers
+(check transactions, the CPU run loop, the worker pool) stay
+instrumented unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class Counter:
+    """Monotonic event count; ``inc`` accepts a weight."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Bounded-memory distribution summary: count/total/min/max.
+
+    Full reservoirs would make snapshots unbounded; the four moments
+    here are enough for every report in the repo (means and extremes)
+    and keep a snapshot's size independent of sample count.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total: float = 0.0
+        self.min: float = 0.0
+        self.max: float = 0.0
+
+    def observe(self, value: float) -> None:
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class Snapshot:
+    """Frozen registry state; the ``obs`` payload carried by results."""
+
+    KIND = "metrics"
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.KIND,
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {name: dict(stats) for name, stats in
+                           sorted(self.histograms.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Snapshot":
+        return cls(counters=dict(data.get("counters", {})),
+                   gauges=dict(data.get("gauges", {})),
+                   histograms={name: dict(stats) for name, stats in
+                               data.get("histograms", {}).items()})
+
+    def delta(self, earlier: "Snapshot") -> "Snapshot":
+        """Counters/histograms since ``earlier``; gauges keep last value.
+
+        Used to attach per-run evidence to a :class:`RunResult` when the
+        registry has been accumulating across several runs.
+        """
+        counters = {}
+        for name, value in self.counters.items():
+            diff = value - earlier.counters.get(name, 0)
+            if diff:
+                counters[name] = diff
+        histograms = {}
+        for name, stats in self.histograms.items():
+            base = earlier.histograms.get(name)
+            if base is None:
+                histograms[name] = dict(stats)
+                continue
+            count = stats["count"] - base["count"]
+            if count:
+                histograms[name] = {
+                    "count": count,
+                    "total": stats["total"] - base["total"],
+                    "min": stats["min"], "max": stats["max"],
+                }
+        return Snapshot(counters=counters, gauges=dict(self.gauges),
+                        histograms=histograms)
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    def snapshot(self) -> Snapshot:
+        return Snapshot(
+            counters={k: v.value for k, v in self._counters.items()},
+            gauges={k: v.value for k, v in self._gauges.items()},
+            histograms={k: {"count": v.count, "total": v.total,
+                            "min": v.min, "max": v.max}
+                        for k, v in self._histograms.items()
+                        if v.count})
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetrics(MetricsRegistry):
+    """Registry whose instruments discard everything, allocation-free."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> Snapshot:
+        return Snapshot()
+
+
+#: Shared inert registry installed while observability is disabled.
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,202 @@
+"""Nestable spans with a seeded-deterministic JSONL exporter.
+
+A :class:`Tracer` records *spans*: named intervals with attributes and
+a parent link.  Two timestamp modes:
+
+* **wall** (``seed=None``) — spans carry :func:`repro.obs.clock.now`
+  seconds; right for perf reports.
+* **logical** (``seed`` given) — spans carry a monotonically
+  incrementing tick, so the exported trace file is **byte-identical**
+  across runs of the same seeded workload.  Wall-valued metric
+  observations are suppressed by callers in this mode (see
+  ``repro.obs.wall_metrics_enabled``).
+
+Two recording APIs:
+
+* ``with tracer.span(name, **attrs):`` — pushes onto the ambient
+  parent stack, so spans opened inside nest under it.  Use for
+  straight-line code.
+* ``handle = tracer.begin(name, **attrs)`` / ``handle.end(**attrs)``
+  — parented under the current stack top but **not** pushed, so
+  concurrent intervals (worker-pool attempts in flight) may begin and
+  end out of order without corrupting the stack.
+
+When tracing is disabled the singleton points at :data:`NULL_TRACER`,
+which returns one shared inert span; the hot paths stay instrumented
+unconditionally at the cost of a method call.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs import clock
+
+#: Trace-file schema version; ``repro.tools.obs report --check-schema``
+#: fails on drift.
+SCHEMA_VERSION = 1
+
+#: Wall timestamps are rounded so traces stay compact and json-stable.
+_WALL_DIGITS = 9
+
+
+class Span:
+    """One open (then finished) interval.  Created via the tracer."""
+
+    __slots__ = ("tracer", "id", "parent", "name", "t0", "t1", "attrs",
+                 "_pushed")
+
+    def __init__(self, tracer: "Tracer", span_id: int,
+                 parent: Optional[int], name: str,
+                 attrs: Dict[str, Any], pushed: bool) -> None:
+        self.tracer = tracer
+        self.id = span_id
+        self.parent = parent
+        self.name = name
+        self.t0 = tracer._now()
+        self.t1: Optional[float] = None
+        self.attrs = attrs
+        self._pushed = pushed
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to an open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def end(self, **attrs: Any) -> None:
+        if self.t1 is not None:      # idempotent: tolerate double end
+            return
+        if attrs:
+            self.attrs.update(attrs)
+        self.t1 = self.tracer._now()
+        self.tracer._finish(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.end()
+
+
+class _NullSpan:
+    """Shared inert span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def end(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Span recorder; finished spans accumulate in completion order."""
+
+    __slots__ = ("seed", "_tick", "_next_id", "_stack", "spans")
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self.seed = seed
+        self._tick = 0
+        self._next_id = 0
+        self._stack: List[int] = []
+        #: Finished span records (dicts), in end order.
+        self.spans: List[Dict[str, Any]] = []
+
+    # -- time ------------------------------------------------------
+
+    @property
+    def deterministic(self) -> bool:
+        return self.seed is not None
+
+    def _now(self) -> float:
+        if self.seed is not None:
+            self._tick += 1
+            return self._tick
+        return round(clock.now(), _WALL_DIGITS)
+
+    # -- recording -------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span and push it onto the ambient parent stack."""
+        handle = self._open(name, attrs, pushed=True)
+        self._stack.append(handle.id)
+        return handle
+
+    def begin(self, name: str, **attrs: Any) -> Span:
+        """Open a span *without* pushing the stack (concurrent work)."""
+        return self._open(name, attrs, pushed=False)
+
+    def _open(self, name: str, attrs: Dict[str, Any],
+              pushed: bool) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        span_id = self._next_id
+        self._next_id += 1
+        return Span(self, span_id, parent, name, attrs, pushed)
+
+    def _finish(self, span: Span) -> None:
+        if span._pushed:
+            # Tolerate exceptions unwinding several frames at once.
+            while self._stack and self._stack[-1] != span.id:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+        record: Dict[str, Any] = {"kind": "span", "id": span.id,
+                                  "name": span.name, "t0": span.t0,
+                                  "t1": span.t1}
+        if span.parent is not None:
+            record["parent"] = span.parent
+        if span.attrs:
+            record["attrs"] = span.attrs
+        self.spans.append(record)
+
+    # -- export ----------------------------------------------------
+
+    def header(self) -> Dict[str, Any]:
+        return {"kind": "trace-header", "version": SCHEMA_VERSION,
+                "clock": "logical" if self.deterministic else "wall",
+                "seed": self.seed, "spans": len(self.spans)}
+
+    def export_jsonl(self, path, metrics: Optional[Dict[str, Any]] = None,
+                     ) -> str:
+        """Write header + spans (+ optional metrics line) as JSONL."""
+        from pathlib import Path
+
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        lines = [json.dumps(self.header(), sort_keys=True)]
+        lines.extend(json.dumps(record, sort_keys=True)
+                     for record in self.spans)
+        if metrics is not None:
+            lines.append(json.dumps(metrics, sort_keys=True))
+        target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return str(target)
+
+
+class NullTracer(Tracer):
+    """Tracer that records nothing and allocates nothing per span."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(seed=None)
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:  # type: ignore[override]
+        return NULL_SPAN
+
+    def begin(self, name: str, **attrs: Any) -> _NullSpan:  # type: ignore[override]
+        return NULL_SPAN
+
+
+#: Shared inert tracer installed while observability is disabled.
+NULL_TRACER = NullTracer()

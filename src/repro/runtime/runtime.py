@@ -25,8 +25,9 @@ Execution drivers:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.cfg.generator import Cfg, generate_cfg
 from repro.core.tables import IdTables
@@ -39,6 +40,7 @@ from repro.errors import (
     WxViolation,
 )
 from repro.linker.static_linker import LinkedProgram
+from repro.obs import OBS
 from repro.vm.cpu import CPU, ProgramExit, ThreadExit
 from repro.vm.memory import (
     CODE_LIMIT,
@@ -75,7 +77,9 @@ class ViolationRecord:
     action: str                 # 'halt' | 'kill-thread' | 'quarantine'
     module: Optional[str] = None
 
-    def as_dict(self) -> Dict[str, object]:
+    KIND = "violation"
+
+    def to_dict(self) -> Dict[str, Any]:
         return {
             "thread": self.thread,
             "branch": self.branch_address,
@@ -84,6 +88,21 @@ class ViolationRecord:
             "action": self.action,
             "module": self.module,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ViolationRecord":
+        return cls(thread=data["thread"],
+                   branch_address=data["branch"],
+                   target_address=data["target"],
+                   reason=data["reason"], action=data["action"],
+                   module=data.get("module"))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Deprecated alias for :meth:`to_dict` (one-release shim)."""
+        warnings.warn(
+            "ViolationRecord.as_dict() is deprecated; use to_dict()",
+            DeprecationWarning, stacklevel=2)
+        return self.to_dict()
 
 
 @dataclass
@@ -100,10 +119,90 @@ class RunResult:
     updates: int = 0
     violations: List[ViolationRecord] = field(default_factory=list)
     quarantined: List[str] = field(default_factory=list)
+    #: Per-run metrics delta (a :class:`repro.obs.Snapshot` dict) when
+    #: observability was enabled during the run; None otherwise.
+    obs: Optional[Dict[str, Any]] = None
+
+    KIND = "run"
 
     @property
     def ok(self) -> bool:
         return self.violation is None and self.fault is None
+
+    @property
+    def status(self) -> str:
+        if self.violation is not None:
+            return "violation"
+        if self.fault is not None:
+            return "fault"
+        return "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """One JSONL-friendly shape, shared by every result consumer.
+
+        ``output`` is decoded as UTF-8 with replacement; exceptions are
+        serialized structurally (type name + message), so the round
+        trip through :meth:`from_dict` is faithful for JSON purposes
+        even though exception identity is reconstructed best-effort.
+        """
+        out: Dict[str, Any] = {
+            "kind": self.KIND,
+            "status": self.status,
+            "exit_code": self.exit_code,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "output": self.output.decode("utf-8", errors="replace"),
+        }
+        if self.check_retries:
+            out["check_retries"] = self.check_retries
+        if self.updates:
+            out["updates"] = self.updates
+        if self.violation is not None:
+            out["violation"] = {
+                "branch": self.violation.branch_address,
+                "target": self.violation.target_address,
+                "reason": self.violation.reason,
+            }
+        if self.fault is not None:
+            out["fault"] = {"type": type(self.fault).__name__,
+                            "message": str(self.fault)}
+        if self.violations:
+            out["violations"] = [v.to_dict() for v in self.violations]
+        if self.quarantined:
+            out["quarantined"] = list(self.quarantined)
+        if self.obs is not None:
+            out["obs"] = self.obs
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        violation = None
+        raw = data.get("violation")
+        if raw is not None:
+            violation = CfiViolation(raw["branch"], raw["target"],
+                                     raw["reason"])
+        fault: Optional[Exception] = None
+        raw = data.get("fault")
+        if raw is not None:
+            import repro.errors as _errors
+            fault_cls = getattr(_errors, raw.get("type", ""),
+                                RuntimeError_)
+            try:
+                fault = fault_cls(raw.get("message", ""))
+            except TypeError:
+                fault = RuntimeError_(raw.get("message", ""))
+        return cls(
+            exit_code=data.get("exit_code"),
+            output=data.get("output", "").encode("utf-8"),
+            cycles=data.get("cycles", 0),
+            instructions=data.get("instructions", 0),
+            violation=violation, fault=fault,
+            check_retries=data.get("check_retries", 0),
+            updates=data.get("updates", 0),
+            violations=[ViolationRecord.from_dict(v)
+                        for v in data.get("violations", [])],
+            quarantined=list(data.get("quarantined", [])),
+            obs=data.get("obs"))
 
 
 class _BlockableCpuTask(CpuTask):
@@ -238,23 +337,25 @@ class Runtime:
         """Single-threaded fast path."""
         cpu = self.main_cpu()
         result = RunResult()
-        try:
-            result.exit_code = cpu.run(max_steps=max_steps)
-        except CfiViolation as violation:
-            if self._handle_violation(cpu, violation):
-                # Non-halting policy: the (only) thread is retired but
-                # the run itself is not a fault — the violation shows
-                # up as a structured record, not an exception.
-                pass
-            else:
-                result.violation = violation
-        except (MemoryFault, VMError, RuntimeError_) as fault:
-            result.fault = fault
-        result.output = bytes(self.output)
+        before = OBS.metrics.snapshot() if OBS.enabled else None
+        with OBS.tracer.span("runtime.run",
+                             policy=self.violation_policy) as span:
+            try:
+                result.exit_code = cpu.run(max_steps=max_steps)
+            except CfiViolation as violation:
+                if self._handle_violation(cpu, violation):
+                    # Non-halting policy: the (only) thread is retired
+                    # but the run itself is not a fault — the violation
+                    # shows up as a structured record, not an exception.
+                    pass
+                else:
+                    result.violation = violation
+            except (MemoryFault, VMError, RuntimeError_) as fault:
+                result.fault = fault
+            span.set(status=result.status)
+        self._finish_result(result, before)
         result.cycles = cpu.cycles
         result.instructions = cpu.instructions
-        result.violations = list(self.violation_records)
-        result.quarantined = list(self.quarantined_modules)
         return result
 
     def run_scheduled(self, seed: int = 0, burst: int = 1,
@@ -270,15 +371,26 @@ class Runtime:
         self._tasks_by_cpu[id(cpu)] = task
         for extra in extra_tasks or []:
             scheduler.add(extra)
-        outcome: Outcome = scheduler.run(max_ticks=max_ticks)
-        result = RunResult(
-            exit_code=outcome.exit_code, violation=outcome.violation,
-            fault=outcome.fault, output=bytes(self.output),
-            cycles=sum(c.cycles for c in self.cpus),
-            instructions=sum(c.instructions for c in self.cpus),
-            violations=list(self.violation_records),
-            quarantined=list(self.quarantined_modules))
+        before = OBS.metrics.snapshot() if OBS.enabled else None
+        with OBS.tracer.span("runtime.run_scheduled", seed=seed,
+                             policy=self.violation_policy) as span:
+            outcome: Outcome = scheduler.run(max_ticks=max_ticks)
+            result = RunResult(
+                exit_code=outcome.exit_code, violation=outcome.violation,
+                fault=outcome.fault,
+                cycles=sum(c.cycles for c in self.cpus),
+                instructions=sum(c.instructions for c in self.cpus))
+            span.set(status=result.status, ticks=outcome.ticks)
+        self._finish_result(result, before)
         return result
+
+    def _finish_result(self, result: RunResult, before) -> None:
+        """Shared epilogue: output, records, per-run metrics delta."""
+        result.output = bytes(self.output)
+        result.violations = list(self.violation_records)
+        result.quarantined = list(self.quarantined_modules)
+        if before is not None and OBS.enabled:
+            result.obs = OBS.metrics.snapshot().delta(before).to_dict()
 
     # -- violation policy -------------------------------------------------------
 
@@ -295,6 +407,8 @@ class Runtime:
         the world and ignoring the event.
         """
         if self.violation_policy == "halt":
+            if OBS.enabled:
+                OBS.metrics.counter("runtime.violations.halt").inc()
             return False
         action = "kill-thread"
         module_name = None
@@ -302,6 +416,8 @@ class Runtime:
             module_name = self._quarantine_module(violation.branch_address)
             if module_name is not None:
                 action = "quarantine"
+        if OBS.enabled:
+            OBS.metrics.counter("runtime.violations." + action).inc()
         self.violation_records.append(ViolationRecord(
             thread=cpu.thread_id,
             branch_address=violation.branch_address,

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 from repro.linker.static_linker import LinkedProgram, link
 from repro.mir.codegen import RawModule, generate
 from repro.mir.lowering import lower_unit
+from repro.obs import OBS
 from repro.runtime.runtime import Runtime, RunResult
 from repro.tinyc.parser import parse
 from repro.tinyc.typecheck import CheckedUnit, check
@@ -76,9 +77,13 @@ def frontend(source: str, name: str = "unit", prelude: bool = True,
 def compile_module(source: str, name: str = "unit", arch: str = "x64",
                    prelude: bool = True) -> RawModule:
     """Compile one TinyC module to (uninstrumented) symbolic assembly."""
-    checked = frontend(source, name=name, prelude=prelude)
-    mir_module = lower_unit(checked)
-    return generate(mir_module, checked, arch=arch)
+    with OBS.tracer.span("toolchain.compile", module=name, arch=arch):
+        with OBS.tracer.span("toolchain.frontend", module=name):
+            checked = frontend(source, name=name, prelude=prelude)
+        with OBS.tracer.span("toolchain.lower", module=name):
+            mir_module = lower_unit(checked)
+        with OBS.tracer.span("toolchain.codegen", module=name):
+            return generate(mir_module, checked, arch=arch)
 
 
 def compile_and_link(sources: Dict[str, str], arch: str = "x64",

@@ -21,10 +21,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List
 
 import repro.experiments as ex
+from repro.obs import clock
 from repro.workloads.spec import BENCHMARKS
 
 ARTIFACTS = ("fig5", "fig6", "table1", "table2", "table3", "stm", "air",
@@ -91,7 +91,7 @@ def main(argv: List[str] | None = None) -> int:
         cache = default_cache()
         store = ResultStore(cache.root / "results.jsonl")
         preexisting = len(store.records())
-    start = time.perf_counter()
+    start = clock.now()
 
     for artifact in args.artifacts:
         if artifact == "fig5":
@@ -151,7 +151,7 @@ def main(argv: List[str] | None = None) -> int:
                           f"hijacked={hijacked} blocked={blocked}")
 
     if args.cache_dir:
-        wall = time.perf_counter() - start
+        wall = clock.now() - start
         cache = default_cache()
         stats = cache.stats
         if args.jobs > 1 and store is not None:

@@ -118,12 +118,23 @@ def table_tamper_attacker(tables, forged_id: int, index: int,
 class AttackReport:
     """Outcome summary used by the security benchmarks."""
 
+    KIND = "attack"
+
     def __init__(self, name: str, hijacked: bool, blocked: bool,
                  detail: str = "") -> None:
         self.name = name
         self.hijacked = hijacked
         self.blocked = blocked
         self.detail = detail
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "hijacked": self.hijacked,
+                "blocked": self.blocked, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AttackReport":
+        return cls(name=data["name"], hijacked=data["hijacked"],
+                   blocked=data["blocked"], detail=data.get("detail", ""))
 
     def __repr__(self) -> str:
         status = "BLOCKED" if self.blocked else (

@@ -41,6 +41,7 @@ from repro.errors import (
 from repro.isa.encoding import decode
 from repro.isa.instructions import MAX_INSTRUCTION_LENGTH, Op
 from repro.isa.registers import Reg
+from repro.obs import OBS
 from repro.vm.memory import Memory, PAGE_SIZE, TableMemory
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -323,9 +324,15 @@ class CPU:
         ``max_steps`` of 0 means no limit.  A limit guards tests against
         runaway programs (raises :class:`VMError` when exceeded).
         CFI violations and memory faults propagate as exceptions.
+
+        Observability is recorded once per call (a ``vm.run`` span and
+        instruction/cycle counters), never per step — the dispatch loop
+        stays untouched.
         """
         executed = 0
+        cycles_before = self.cycles
         step = self.step
+        span = OBS.tracer.begin("vm.run", thread=self.thread_id)
         try:
             while True:
                 step()
@@ -334,6 +341,15 @@ class CPU:
                     raise VMError(f"exceeded step limit of {max_steps}")
         except ProgramExit as program_exit:
             return program_exit.code
+        finally:
+            if OBS.enabled:
+                metrics = OBS.metrics
+                metrics.counter("vm.runs").inc()
+                metrics.counter("vm.instructions").inc(executed)
+                metrics.counter("vm.cycles").inc(
+                    self.cycles - cycles_before)
+            span.end(instructions=executed,
+                     cycles=self.cycles - cycles_before)
 
     # -- helpers --------------------------------------------------------
 

@@ -1,0 +1,142 @@
+"""Tests for the umbrella CLI and the obs tool (PR 3)."""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import pytest
+
+from repro.cli import TOOLS, build_parser, main as cli_main, tool_argv
+from repro.tools.obs import (DEMO_SUBSYSTEMS, load_trace, run_demo,
+                             subsystem)
+from repro.tools.obs import main as obs_main
+
+
+def _argv_for(argv):
+    return tool_argv(build_parser().parse_args(argv))
+
+
+class TestFlagForwarding:
+    def test_spec_gets_jobs_and_cache_dir(self):
+        rest = _argv_for(["--jobs", "4", "--cache-dir", "/tmp/c",
+                          "spec", "fig5"])
+        assert rest == ["fig5", "--jobs", "4", "--cache-dir", "/tmp/c"]
+
+    def test_explicit_tool_flag_wins(self):
+        rest = _argv_for(["--jobs", "4", "spec", "fig5",
+                          "--jobs", "2"])
+        assert rest.count("--jobs") == 1
+        assert rest == ["fig5", "--jobs", "2"]
+
+    def test_infra_report_gets_no_jobs(self):
+        rest = _argv_for(["--jobs", "4", "--cache-dir", "/tmp/c",
+                          "infra", "report"])
+        assert "--jobs" not in rest
+        assert rest == ["report", "--cache-dir", "/tmp/c"]
+
+    def test_faults_campaign_seed_becomes_seeds(self):
+        rest = _argv_for(["--seed", "3", "--jobs", "2",
+                          "faults", "campaign"])
+        assert rest == ["campaign", "--jobs", "2", "--seeds", "3"]
+
+    def test_faults_report_gets_nothing(self):
+        rest = _argv_for(["--seed", "3", "--jobs", "2",
+                          "faults", "report"])
+        assert rest == ["report"]
+
+    def test_obs_demo_gets_seed_and_out(self):
+        rest = _argv_for(["--seed", "5", "--trace", "/tmp/t.jsonl",
+                          "obs", "demo"])
+        assert rest == ["demo", "--seed", "5", "--out", "/tmp/t.jsonl"]
+
+    def test_passthrough_tools_untouched(self):
+        rest = _argv_for(["--jobs", "4", "cc", "prog.c", "--run"])
+        assert rest == ["prog.c", "--run"]
+
+    def test_every_tool_module_resolves(self):
+        import importlib
+        for name in TOOLS.values():
+            module = importlib.import_module(f"repro.tools.{name}")
+            assert callable(module.main)
+
+
+class TestUmbrellaParity:
+    def test_spec_stdout_identical(self, capsys):
+        from repro.tools.spec import main as spec_main
+
+        argv = ["table1", "--benchmarks", "libquantum"]
+        assert spec_main(argv) == 0
+        direct = capsys.readouterr().out
+        assert cli_main(["spec"] + argv) == 0
+        assert capsys.readouterr().out == direct
+
+    def test_trace_leaves_stdout_unchanged(self, capsys, tmp_path):
+        argv = ["spec", "table1", "--benchmarks", "libquantum"]
+        assert cli_main(argv) == 0
+        untraced = capsys.readouterr().out
+        trace_path = tmp_path / "t.jsonl"
+        assert cli_main(["--trace", str(trace_path)] + argv) == 0
+        captured = capsys.readouterr()
+        assert captured.out == untraced
+        assert "[obs]" in captured.err
+        assert trace_path.exists()
+
+    def test_trace_disabled_after_command(self, tmp_path):
+        from repro.obs import OBS
+
+        cli_main(["--trace", str(tmp_path / "t.jsonl"),
+                  "spec", "table1", "--benchmarks", "libquantum"])
+        assert not OBS.enabled
+
+
+class TestObsTool:
+    @pytest.fixture(scope="class")
+    def demo_trace(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("obs") / "demo.jsonl"
+        path, covered = run_demo(0, out)
+        return out, covered
+
+    def test_demo_covers_six_subsystems(self, demo_trace):
+        _, covered = demo_trace
+        assert set(DEMO_SUBSYSTEMS) <= set(covered)
+
+    def test_demo_trace_validates(self, demo_trace):
+        out, _ = demo_trace
+        header, spans, metrics, problems = load_trace(out)
+        assert problems == []
+        assert header["clock"] == "logical"
+        assert header["spans"] == len(spans)
+        assert metrics is not None
+
+    def test_report_command(self, demo_trace, capsys):
+        out, _ = demo_trace
+        assert obs_main(["report", str(out), "--check-schema"]) == 0
+        text = capsys.readouterr().out
+        assert "subsystems" in text
+        assert "linker.dlopen" in text
+
+    def test_check_schema_rejects_drift(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({"kind": "trace-header", "version": 99,
+                                   "clock": "logical", "seed": 0,
+                                   "spans": 0}) + "\n")
+        assert obs_main(["report", str(bad), "--check-schema"]) == 1
+        assert "schema drift" in capsys.readouterr().err
+
+    def test_check_schema_rejects_missing_header(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({"kind": "span", "id": 0, "name": "x",
+                                   "t0": 1, "t1": 2}) + "\n")
+        assert obs_main(["report", str(bad), "--check-schema"]) == 1
+
+    def test_catalog_lists_names(self, capsys):
+        assert obs_main(["catalog"]) == 0
+        text = capsys.readouterr().out
+        assert "tx.update" in text
+        assert "pool.job_seconds" in text
+
+    def test_subsystem_mapping(self):
+        assert subsystem("tx.update") == "transactions"
+        assert subsystem("linker.dlopen") == "linker"
+        assert subsystem("vm.run") == "vm"

@@ -70,7 +70,7 @@ class TestFaultPlane:
         plane.should("p", detail="first")
         plane.should("p", detail="second")
         assert [e.detail for e in plane.events] == ["first", "second"]
-        assert plane.events[0].as_dict()["point"] == "p"
+        assert plane.events[0].to_dict()["point"] == "p"
 
     def test_null_plane_is_inert_and_unarmable(self):
         NULL_PLANE.check("anything")
@@ -221,7 +221,7 @@ class TestTableScenarios:
                                    policy="report", seed=9)
         second = run_table_scenario("bitflip-tary", "returns",
                                     policy="report", seed=9)
-        assert first.as_dict() == second.as_dict()
+        assert first.to_dict() == second.to_dict()
 
     def test_unknown_injector_and_policy_rejected(self):
         with pytest.raises(ValueError):

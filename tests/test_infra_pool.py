@@ -354,6 +354,6 @@ class TestValidation:
 
     def test_job_result_record_shape(self):
         record = JobResult(id="x", ok=True, attempts=1,
-                           seconds=0.5).record()
+                           seconds=0.5).to_dict()
         assert record["status"] == "ok"
         assert record["job"] == "x"

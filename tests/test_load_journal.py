@@ -194,7 +194,7 @@ class TestViolationPolicies:
         record = result.violations[0]
         assert record.action == "kill-thread"
         assert record.reason
-        assert record.as_dict()["action"] == "kill-thread"
+        assert record.to_dict()["action"] == "kill-thread"
 
     def test_report_policy_in_scheduled_mode_other_threads_continue(
             self):
