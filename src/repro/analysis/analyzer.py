@@ -35,7 +35,7 @@ actually dispatches through the mismatched pointer type.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 from repro.tinyc.typecheck import CastRecord, CheckedUnit
 from repro.tinyc.types import (
@@ -49,6 +49,7 @@ from repro.tinyc.types import (
     contains_function_pointer,
     is_function_pointer,
     is_physical_subtype,
+    signatures_match,
 )
 
 #: Field names treated as runtime type tags for the DC elimination.
@@ -80,6 +81,8 @@ class AnalysisReport:
     c2: int = 0
     classified: List[ClassifiedCast] = field(default_factory=list)
 
+    KIND = "analysis"
+
     def table1_row(self) -> Dict[str, int]:
         return {"SLOC": self.sloc, "VBE": self.vbe, "UC": self.uc,
                 "DC": self.dc, "MF": self.mf, "SU": self.su, "NF": self.nf,
@@ -87,6 +90,43 @@ class AnalysisReport:
 
     def table2_row(self) -> Dict[str, int]:
         return {"K1": self.k1, "K2": self.k2, "K1-fixed": self.k1_fixed}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Repo-wide result protocol (``kind`` = ``"analysis"``).
+
+        ``casts`` carries a display-friendly rendering of each
+        classified record (the ``Type`` operands flatten to their
+        canonical spelling); the scalar Table 1/2 fields round-trip
+        through :meth:`from_dict` exactly.
+        """
+        return {
+            "kind": self.KIND,
+            "unit": self.unit,
+            "table1": self.table1_row(),
+            "table2": self.table2_row(),
+            "c2": self.c2,
+            "casts": [
+                {"category": c.category,
+                 "line": c.record.line,
+                 "function": c.record.function,
+                 "src": str(canonical(c.record.src)),
+                 "dst": str(canonical(c.record.dst)),
+                 "operand_func": c.record.operand_func}
+                for c in self.classified
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AnalysisReport":
+        t1 = data.get("table1", {})
+        t2 = data.get("table2", {})
+        return cls(unit=data["unit"], sloc=t1.get("SLOC", 0),
+                   vbe=t1.get("VBE", 0), uc=t1.get("UC", 0),
+                   dc=t1.get("DC", 0), mf=t1.get("MF", 0),
+                   su=t1.get("SU", 0), nf=t1.get("NF", 0),
+                   vae=t1.get("VAE", 0), k1=t2.get("K1", 0),
+                   k2=t2.get("K2", 0), k1_fixed=t2.get("K1-fixed", 0),
+                   c2=data.get("c2", 0))
 
 
 class Analyzer:
@@ -175,12 +215,27 @@ class Analyzer:
 
     def _k1_needs_fix(self, record: CastRecord) -> bool:
         """A K1 case breaks the CFG only if calls dispatch through the
-        mismatched pointer type (otherwise the pointer is dead)."""
+        mismatched pointer type (otherwise the pointer is dead) *and*
+        the CFG generator would refuse the stored function as a target.
+
+        The generator's variadic prefix rule (a ``t(...)`` pointer
+        matches any ``t(x, ...)`` function sharing the fixed-parameter
+        prefix) means such casts — while still K-candidates, since the
+        canonical types differ — dispatch fine at runtime and need no
+        source fix.  Using exact signature membership here double-counts
+        them as ``K1-fixed``.
+        """
         if not is_function_pointer(record.dst):
             return False
         assert isinstance(record.dst.pointee, FuncType)
         sig = FuncSig.of(record.dst.pointee)
-        return sig in self._called_sigs
+        if sig not in self._called_sigs:
+            return False
+        func_type = self.checked.func_types.get(record.operand_func)
+        if func_type is None:
+            return True  # unknown function: conservative
+        assert isinstance(func_type, FuncType)
+        return not signatures_match(sig, FuncSig.of(func_type))
 
     def c2_findings(self, libc_exempt: bool = True) -> int:
         """C2 (assembly) findings: direct ``__syscall`` intrinsic uses.

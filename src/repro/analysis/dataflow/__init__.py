@@ -1,0 +1,43 @@
+"""MIR dataflow plane: CFGs, fixpoints, points-to, and lints.
+
+Public surface:
+
+* :func:`~repro.analysis.dataflow.cfg.build_cfg` /
+  :class:`~repro.analysis.dataflow.cfg.BlockCfg` — basic-block CFGs
+  over :class:`~repro.mir.ir.MirFunction`;
+* :func:`~repro.analysis.dataflow.solver.solve` /
+  :class:`~repro.analysis.dataflow.solver.DataflowProblem` — the
+  generic worklist fixpoint engine (forward and backward);
+* :func:`~repro.analysis.dataflow.absint.analyze_function` — the
+  function-pointer/provenance abstract interpreter;
+* :func:`~repro.analysis.dataflow.pointsto.devirtualize_module` — the
+  CFG-sharpening points-to pass (direct-call rewrites + target hints);
+* :func:`~repro.analysis.dataflow.lints.run_lints` — the lint driver
+  producing stable ``MCFI00x`` diagnostics;
+* :mod:`~repro.analysis.dataflow.diagnostics` — diagnostic codes,
+  serialization, and the checked-in baseline format.
+"""
+
+from repro.analysis.dataflow.absint import (AbsState, FunctionFacts,
+                                            analyze_function,
+                                            tracked_locals)
+from repro.analysis.dataflow.cfg import (BlockCfg, build_cfg,
+                                         uses_nonlocal_flow)
+from repro.analysis.dataflow.diagnostics import (CODES, Baseline,
+                                                 Diagnostic, LintReport,
+                                                 sorted_diagnostics)
+from repro.analysis.dataflow.lints import (deadcode_pass, run_lints,
+                                           sandbox_store_pass)
+from repro.analysis.dataflow.pointsto import (CallSite, PointsToReport,
+                                              devirtualize_module,
+                                              resolve_module)
+from repro.analysis.dataflow.solver import DataflowProblem, Solution, solve
+
+__all__ = [
+    "AbsState", "Baseline", "BlockCfg", "CODES", "CallSite",
+    "DataflowProblem", "Diagnostic", "FunctionFacts", "LintReport",
+    "PointsToReport", "Solution", "analyze_function", "build_cfg",
+    "deadcode_pass", "devirtualize_module", "resolve_module",
+    "run_lints", "sandbox_store_pass", "sorted_diagnostics", "solve",
+    "tracked_locals", "uses_nonlocal_flow",
+]

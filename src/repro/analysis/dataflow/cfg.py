@@ -1,0 +1,128 @@
+"""Basic-block control-flow graphs over MIR functions.
+
+The CFG is purely structural: nodes are the function's blocks, edges
+come from the block terminators (:class:`~repro.mir.ir.Jump`,
+:class:`~repro.mir.ir.CondBr`, :class:`~repro.mir.ir.SwitchBr`).  A
+:class:`~repro.mir.ir.Ret` has no successors.  ``longjmp`` is *not*
+modelled as an edge — passes that would be unsound in the presence of
+non-local control transfer must check
+:func:`~repro.analysis.dataflow.cfg.uses_nonlocal_flow` and bail out.
+
+Everything here is deterministic: successor tuples preserve terminator
+operand order (deduplicated), and traversal orders are derived from the
+function's own block order plus those tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.mir import ir
+
+
+@dataclass
+class BlockCfg:
+    """The control-flow graph of one :class:`~repro.mir.ir.MirFunction`."""
+
+    function: ir.MirFunction
+    entry: str
+    blocks: Dict[str, ir.BasicBlock]
+    successors: Dict[str, Tuple[str, ...]]
+    predecessors: Dict[str, Tuple[str, ...]]
+    #: blocks reachable from the entry, in reverse postorder
+    rpo: List[str] = field(default_factory=list)
+
+    @property
+    def reachable(self) -> frozenset:
+        return frozenset(self.rpo)
+
+    @property
+    def exits(self) -> Tuple[str, ...]:
+        """Reachable blocks with no successors (function exits)."""
+        return tuple(label for label in self.rpo
+                     if not self.successors[label])
+
+    def unreachable_blocks(self) -> List[str]:
+        """Labels never reached from the entry, in layout order."""
+        reachable = self.reachable
+        return [block.label for block in self.function.blocks
+                if block.label not in reachable]
+
+
+def _successors_of(block: ir.BasicBlock) -> Tuple[str, ...]:
+    term = block.terminator
+    refs: Tuple[str, ...] = ()
+    if isinstance(term, ir.Jump):
+        refs = (term.target,)
+    elif isinstance(term, ir.CondBr):
+        refs = (term.then_block, term.else_block)
+    elif isinstance(term, ir.SwitchBr):
+        refs = tuple(term.targets) + (term.default,)
+    # Ret (or a missing terminator on malformed input): no successors.
+    seen = set()
+    out = []
+    for ref in refs:
+        if ref not in seen:
+            seen.add(ref)
+            out.append(ref)
+    return tuple(out)
+
+
+def build_cfg(func: ir.MirFunction) -> BlockCfg:
+    """Construct the block CFG (entry = the function's first block)."""
+    if not func.blocks:
+        raise ValueError(f"{func.name}: cannot build a CFG with no blocks")
+    blocks = {block.label: block for block in func.blocks}
+    successors = {label: _successors_of(block)
+                  for label, block in blocks.items()}
+    predecessors: Dict[str, List[str]] = {label: [] for label in blocks}
+    for label, succs in successors.items():
+        for succ in succs:
+            predecessors[succ].append(label)
+
+    entry = func.blocks[0].label
+    rpo = _reverse_postorder(entry, successors)
+    return BlockCfg(
+        function=func, entry=entry, blocks=blocks, successors=successors,
+        predecessors={label: tuple(preds)
+                      for label, preds in predecessors.items()},
+        rpo=rpo)
+
+
+def _reverse_postorder(entry: str,
+                       successors: Dict[str, Tuple[str, ...]]) -> List[str]:
+    """Iterative DFS postorder from ``entry``, reversed."""
+    postorder: List[str] = []
+    visited = {entry}
+    # (label, next successor index) — an explicit stack keeps deep CFGs
+    # from hitting the recursion limit.
+    stack: List[List[object]] = [[entry, 0]]
+    while stack:
+        frame = stack[-1]
+        label, index = frame  # type: ignore[misc]
+        succs = successors[label]
+        if index < len(succs):
+            frame[1] = index + 1
+            succ = succs[index]
+            if succ not in visited:
+                visited.add(succ)
+                stack.append([succ, 0])
+        else:
+            postorder.append(label)
+            stack.pop()
+    return list(reversed(postorder))
+
+
+def uses_nonlocal_flow(func: ir.MirFunction) -> bool:
+    """True when the function contains setjmp/longjmp.
+
+    Control may re-enter mid-block at a setjmp resume point with state
+    the block CFG cannot describe, so flow-sensitive value passes must
+    treat such functions as opaque.
+    """
+    for block in func.blocks:
+        for inst in block.instrs:
+            if isinstance(inst, (ir.SetjmpInst, ir.LongjmpInst)):
+                return True
+    return False

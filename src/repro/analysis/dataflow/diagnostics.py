@@ -1,0 +1,170 @@
+"""Stable lint diagnostics: codes, serialization, baselines.
+
+Every finding a lint pass emits is a :class:`Diagnostic` with a stable
+code from :data:`CODES`.  Diagnostics serialize through the repo-wide
+``to_dict()``/``from_dict()`` protocol (``kind`` = ``"diagnostic"``)
+and order deterministically, so text and JSON output are byte-stable
+across runs.
+
+A :class:`Baseline` is a checked-in JSON file recording the accepted
+fingerprints per workload.  ``diff`` splits a fresh run into *new*
+diagnostics (drift — CI fails on these) and *fixed* fingerprints
+(recorded but gone — the baseline should be regenerated).  Baselined
+fingerprints act as suppressions: they are excluded from drift.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+#: code -> (severity, one-line description)
+CODES: Dict[str, Tuple[str, str]] = {
+    "MCFI001": ("warning", "unreachable basic block"),
+    "MCFI002": ("warning", "pure definition is never used"),
+    "MCFI003": ("error", "store address has integer-only provenance "
+                         "(not derived from a maskable base)"),
+    "MCFI004": ("error", "store through a code (function) address"),
+}
+
+_SEVERITY_RANK = {"error": 0, "warning": 1, "note": 2}
+
+
+def severity_of(code: str) -> str:
+    return CODES[code][0]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding at a stable MIR location."""
+
+    code: str
+    unit: str                 # translation unit / workload name
+    function: str
+    block: str
+    index: int                # instruction index within the block
+    message: str
+
+    KIND = "diagnostic"
+
+    @property
+    def severity(self) -> str:
+        return severity_of(self.code)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by baselines and suppressions."""
+        return (f"{self.code}@{self.unit}:{self.function}:"
+                f"{self.block}:{self.index}")
+
+    def render(self) -> str:
+        return (f"{self.unit}:{self.function}:{self.block}[{self.index}] "
+                f"{self.severity} {self.code}: {self.message}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.KIND,
+            "code": self.code,
+            "severity": self.severity,
+            "unit": self.unit,
+            "function": self.function,
+            "block": self.block,
+            "index": self.index,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Diagnostic":
+        return cls(code=data["code"], unit=data["unit"],
+                   function=data["function"], block=data["block"],
+                   index=data["index"], message=data["message"])
+
+
+def sort_key(diag: Diagnostic) -> Tuple:
+    return (diag.unit, diag.function, diag.block, diag.index,
+            _SEVERITY_RANK.get(diag.severity, 9), diag.code)
+
+
+def sorted_diagnostics(diags: List[Diagnostic]) -> List[Diagnostic]:
+    return sorted(diags, key=sort_key)
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one lint run over one unit (workload)."""
+
+    unit: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: pass name -> findings count (stable insertion order)
+    pass_counts: Dict[str, int] = field(default_factory=dict)
+
+    KIND = "lint"
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.KIND,
+            "unit": self.unit,
+            "count": len(self.diagnostics),
+            "errors": len(self.errors),
+            "passes": dict(self.pass_counts),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LintReport":
+        return cls(unit=data["unit"],
+                   diagnostics=[Diagnostic.from_dict(d)
+                                for d in data.get("diagnostics", [])],
+                   pass_counts=dict(data.get("passes", {})))
+
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Accepted (suppressed) diagnostic fingerprints per workload."""
+
+    workloads: Dict[str, List[str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not Path(path).exists():
+            return cls()
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version "
+                f"{data.get('version')!r} (expected {BASELINE_VERSION})")
+        return cls(workloads={name: sorted(prints)
+                              for name, prints in
+                              data.get("workloads", {}).items()})
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "workloads": {name: sorted(prints)
+                          for name, prints in
+                          sorted(self.workloads.items())},
+        }
+        Path(path).write_text(json.dumps(payload, indent=2,
+                                         sort_keys=True) + "\n")
+
+    def record(self, workload: str, diags: List[Diagnostic]) -> None:
+        self.workloads[workload] = sorted(d.fingerprint for d in diags)
+
+    def diff(self, workload: str, diags: List[Diagnostic],
+             ) -> Tuple[List[Diagnostic], List[str]]:
+        """Split a run into (new diagnostics, fixed fingerprints)."""
+        accepted = set(self.workloads.get(workload, []))
+        fresh = [d for d in diags if d.fingerprint not in accepted]
+        current = {d.fingerprint for d in diags}
+        fixed = sorted(fp for fp in accepted if fp not in current)
+        return fresh, fixed

@@ -1,0 +1,115 @@
+"""Generic worklist fixpoint solver over a :class:`BlockCfg`.
+
+A dataflow problem supplies the lattice (``bottom`` is represented by
+the absence of a state — blocks are unreached until first visited),
+the ``join`` for merging states at control-flow confluences, and the
+``transfer`` function mapping a block's input state to its output
+state.  The solver handles forward and backward directions; for a
+backward problem the CFG edges are conceptually reversed and the
+boundary state applies at every exit block.
+
+States are treated as immutable values: ``transfer`` and ``join`` must
+return fresh states (or the same object when nothing changed), and
+``equals`` decides convergence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.analysis.dataflow.cfg import BlockCfg
+
+State = Any
+
+
+@dataclass
+class DataflowProblem:
+    """One dataflow analysis: direction, lattice ops, transfer.
+
+    ``transfer(label, block, state)`` consumes the state at block entry
+    (forward) or block exit (backward) and returns the state at the
+    other end.  ``boundary`` is the state entering the CFG (at the
+    entry block, or at every exit block for backward problems).
+    """
+
+    direction: str                                  # 'forward' | 'backward'
+    boundary: State
+    join: Callable[[State, State], State]
+    transfer: Callable[[str, Any, State], State]
+    equals: Callable[[State, State], bool] = lambda a, b: a == b
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("forward", "backward"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+
+
+@dataclass
+class Solution:
+    """Fixpoint states per reachable block.
+
+    ``inputs[label]`` is the state at the block's analysis entry (block
+    start for forward problems, block end for backward problems);
+    ``outputs[label]`` the state after ``transfer``.  Unreachable
+    blocks appear in neither map.
+    """
+
+    inputs: Dict[str, State]
+    outputs: Dict[str, State]
+    iterations: int = 0
+
+
+def solve(cfg: BlockCfg, problem: DataflowProblem) -> Solution:
+    """Run the worklist algorithm to fixpoint; deterministic order."""
+    forward = problem.direction == "forward"
+    if forward:
+        order = list(cfg.rpo)
+        edges_in = cfg.predecessors
+        edges_out = cfg.successors
+        roots = {cfg.entry}
+    else:
+        order = list(reversed(cfg.rpo))
+        edges_in = cfg.successors
+        edges_out = cfg.predecessors
+        roots = set(cfg.exits)
+
+    position = {label: index for index, label in enumerate(order)}
+    inputs: Dict[str, State] = {}
+    outputs: Dict[str, State] = {}
+    pending = deque(order)
+    queued = set(order)
+    iterations = 0
+
+    while pending:
+        label = pending.popleft()
+        queued.discard(label)
+        iterations += 1
+
+        state: Optional[State] = problem.boundary if label in roots else None
+        for other in edges_in[label]:
+            if other in outputs:
+                other_state = outputs[other]
+                state = other_state if state is None \
+                    else problem.join(state, other_state)
+        if state is None:
+            # No analyzed input yet (e.g. a loop body before its header
+            # on the first sweep): wait for a predecessor to produce one.
+            continue
+
+        old_input = inputs.get(label)
+        if old_input is not None and problem.equals(old_input, state):
+            continue
+        inputs[label] = state
+        new_output = problem.transfer(label, cfg.blocks[label], state)
+        old_output = outputs.get(label)
+        outputs[label] = new_output
+        if old_output is not None and problem.equals(old_output, new_output):
+            continue
+        for succ in sorted(edges_out[label],
+                           key=lambda lbl: position.get(lbl, 0)):
+            if succ in position and succ not in queued:
+                pending.append(succ)
+                queued.add(succ)
+
+    return Solution(inputs=inputs, outputs=outputs, iterations=iterations)

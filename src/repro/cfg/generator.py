@@ -140,7 +140,19 @@ def _generate_cfg(aux: AuxInfo,
 def _targets_of(site, aux: AuxInfo, graph: CallGraph, matcher: TypeMatcher,
                 plt_resolution: Optional[Dict[str, int]]) -> Set[int]:
     if site.kind in ("icall", "tail"):
-        return {f.entry for f in matcher.matches(site.sig)}
+        matches = {f.entry for f in matcher.matches(site.sig)}
+        if site.ptargets:
+            # Points-to refinement: intersect with the proven callee
+            # set.  The hint may only *narrow* the policy — on an empty
+            # intersection (e.g. a hint naming a function the matcher
+            # rejects on type grounds) fall back to pure type matching
+            # so the CFG never loses the paper's baseline guarantees.
+            hinted = {aux.functions[name].entry for name in site.ptargets
+                      if name in aux.functions}
+            narrowed = matches & hinted
+            if narrowed:
+                return narrowed
+        return matches
     if site.kind == "ret":
         return set(graph.return_targets.get(site.fn, ()))
     if site.kind == "switch":

@@ -48,6 +48,7 @@ TOOLS = {
     "objdump": "objdump",
     "analyze": "analyze",
     "gadgets": "gadgets",
+    "lint": "lint",
 }
 
 

@@ -72,6 +72,8 @@ class SiteInfo:
     sig: Optional[FuncSig] = None   # pointer signature (icall/tail)
     targets: Tuple[str, ...] = ()   # case labels (switch)
     plt_symbol: Optional[str] = None
+    #: points-to refinement: proven callee names (icall/tail), or ()
+    ptargets: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -103,9 +105,11 @@ class _Expander:
 
     def new_site(self, kind: str, fn: str, sig: Optional[FuncSig] = None,
                  targets: Tuple[str, ...] = (),
-                 plt_symbol: Optional[str] = None) -> SiteInfo:
+                 plt_symbol: Optional[str] = None,
+                 ptargets: Tuple[str, ...] = ()) -> SiteInfo:
         info = SiteInfo(site=len(self.sites), kind=kind, fn=fn, sig=sig,
-                        targets=targets, plt_symbol=plt_symbol)
+                        targets=targets, plt_symbol=plt_symbol,
+                        ptargets=ptargets)
         self.sites.append(info)
         return info
 
@@ -149,7 +153,8 @@ class _Expander:
 
     def expand_indirect_jump(self, pseudo: PseudoIndirectJump) -> None:
         site = self.new_site(pseudo.kind, pseudo.fn, sig=pseudo.sig,
-                             targets=pseudo.targets)
+                             targets=pseudo.targets,
+                             ptargets=pseudo.ptargets)
         if pseudo.reg != Reg.RCX:
             self.emit(Op.MOV_RR, Reg.RCX, pseudo.reg)
         self.emit(Op.MOVZX32, Reg.RCX)
@@ -157,7 +162,8 @@ class _Expander:
 
     def expand_indirect_call(self, pseudo: PseudoIndirectCall,
                              retsite_mark: Optional[Mark]) -> None:
-        site = self.new_site("icall", pseudo.fn, sig=pseudo.sig)
+        site = self.new_site("icall", pseudo.fn, sig=pseudo.sig,
+                             ptargets=pseudo.ptargets)
         try_label = self._fresh("try")
         check_label = self._fresh("check")
         halt_label = self._fresh("halt")

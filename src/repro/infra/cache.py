@@ -33,7 +33,7 @@ from repro.module.objectfile import ObjectFileError
 from repro.runtime.runtime import RunResult
 
 #: Bump when codegen/linker output changes shape: invalidates every key.
-TOOLCHAIN_TAG = "simcc-1"
+TOOLCHAIN_TAG = "simcc-2"
 
 _PROGRAM_DIGEST_BYTES = 32
 
@@ -203,8 +203,9 @@ class ArtifactCache:
 
     #: Bump when the pickled RunResult schema changes shape, so stale
     #: cache entries from an older layout are never unpickled into the
-    #: new dataclass (the ``obs`` field arrived in schema 2).
-    RUN_SCHEMA = 2
+    #: new dataclass (the ``obs`` field arrived in schema 2,
+    #: ``tx_checks`` in schema 3).
+    RUN_SCHEMA = 3
 
     def run_key(self, program_key: str, **params: Any) -> str:
         return self._key({"kind": "run", "program": program_key,

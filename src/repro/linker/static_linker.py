@@ -67,7 +67,8 @@ def _shift_sites(asm: InstrumentedAsm, base: int) -> InstrumentedAsm:
         else:
             items.append(item)
     sites = [SiteInfo(site=s.site + base, kind=s.kind, fn=s.fn, sig=s.sig,
-                      targets=s.targets, plt_symbol=s.plt_symbol)
+                      targets=s.targets, plt_symbol=s.plt_symbol,
+                      ptargets=s.ptargets)
              for s in asm.sites]
     return InstrumentedAsm(items=items, sites=sites,
                            setjmp_resumes=list(asm.setjmp_resumes))
@@ -125,15 +126,20 @@ def _rename_symbol(raw: RawModule, old: str, new: str) -> None:
                 PseudoIndirectCall, PseudoReturn
             if isinstance(item, PseudoReturn) and item.fn == old:
                 items.append(PseudoReturn(fn=new))
-            elif isinstance(item, PseudoIndirectCall) and item.fn == old:
-                items.append(PseudoIndirectCall(fn=new, reg=item.reg,
-                                                sig=item.sig))
+            elif isinstance(item, PseudoIndirectCall):
+                items.append(PseudoIndirectCall(
+                    fn=new if item.fn == old else item.fn,
+                    reg=item.reg, sig=item.sig,
+                    ptargets=tuple(new if t == old else t
+                                   for t in item.ptargets)))
             elif isinstance(item, PseudoIndirectJump):
                 targets = tuple(rename(t) for t in item.targets)
                 items.append(PseudoIndirectJump(
                     fn=new if item.fn == old else item.fn,
                     reg=item.reg, kind=item.kind, sig=item.sig,
-                    targets=targets))
+                    targets=targets,
+                    ptargets=tuple(new if t == old else t
+                                   for t in item.ptargets)))
             else:
                 items.append(item)
     raw.items = items

@@ -54,11 +54,16 @@ class PseudoReturn:
 
 @dataclass(frozen=True)
 class PseudoIndirectCall:
-    """``call *reg`` through a pointer of canonical signature ``sig``."""
+    """``call *reg`` through a pointer of canonical signature ``sig``.
+
+    ``ptargets`` carries the points-to pass's proven callee names (see
+    :class:`repro.mir.ir.CallInd`); empty means no static refinement.
+    """
 
     fn: str
     reg: Reg
     sig: FuncSig
+    ptargets: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -67,6 +72,7 @@ class PseudoIndirectJump:
 
     ``kind`` is 'switch' (targets = case labels), 'tail' (sig set) or
     'longjmp' (targets the setjmp-resume equivalence class).
+    ``ptargets`` refines 'tail' sites exactly as for indirect calls.
     """
 
     fn: str
@@ -74,6 +80,7 @@ class PseudoIndirectJump:
     kind: str
     sig: Optional[FuncSig] = None
     targets: Tuple[str, ...] = ()
+    ptargets: Tuple[str, ...] = ()
 
 
 RawItem = Union[Item, PseudoReturn, PseudoIndirectCall, PseudoIndirectJump]
@@ -357,13 +364,15 @@ class FunctionCodegen:
             self.load_vreg(_RCX, inst.pointer)  # before the frame drops
             self._emit_epilogue_body()
             self.items.append(PseudoIndirectJump(
-                fn=self.func.name, reg=_RCX, kind="tail", sig=inst.sig))
+                fn=self.func.name, reg=_RCX, kind="tail", sig=inst.sig,
+                ptargets=tuple(inst.targets_hint)))
             self._emitted_tail = True  # the trailing Ret is dead code
             return
         pushed = self._marshal_args(inst.args)
         self.load_vreg(_RCX, inst.pointer)
         self.items.append(PseudoIndirectCall(
-            fn=self.func.name, reg=_RCX, sig=inst.sig))
+            fn=self.func.name, reg=_RCX, sig=inst.sig,
+            ptargets=tuple(inst.targets_hint)))
         self.items.append(Mark("retsite", (self.func.name, None)))
         if pushed:
             self.emit(Op.ADD_RI, Reg.RSP, 8 * pushed)

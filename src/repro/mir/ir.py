@@ -145,13 +145,23 @@ class Call(Inst):
 
 @dataclass
 class CallInd(Inst):
-    """Indirect call through a function pointer of signature ``sig``."""
+    """Indirect call through a function pointer of signature ``sig``.
+
+    ``targets_hint`` is an optional statically proven over-approximation
+    of the pointer's possible callees (function names), produced by the
+    points-to pass in :mod:`repro.analysis.dataflow`.  Empty means
+    unknown; a non-empty hint lets the CFG generator intersect the
+    type-matched target set with the hint, splitting equivalence
+    classes.  Hints never *add* targets — the generator falls back to
+    pure type matching whenever the intersection would be empty.
+    """
 
     dst: Optional[VReg]
     pointer: VReg
     args: List[VReg]
     sig: FuncSig = None   # type: ignore[assignment]
     tail: bool = False
+    targets_hint: Tuple[str, ...] = ()
 
 
 @dataclass

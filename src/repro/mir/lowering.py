@@ -116,9 +116,35 @@ class FunctionLowerer:
         self.lower_stmt(self.checked.body)
         if not self.current.terminated:
             self.emit(ir.Ret(value=None))
+        self._prune_unreachable()
         self._mark_tail_calls()
         self.mir.validate()
         return self.mir
+
+    def _prune_unreachable(self) -> None:
+        """Drop blocks no terminator can reach (switch joins where every
+        case returns, code after ``return``): they would survive into
+        the binary as dead bytes otherwise."""
+        succs = {}
+        for block in self.mir.blocks:
+            term = block.terminator
+            if isinstance(term, ir.Jump):
+                succs[block.label] = (term.target,)
+            elif isinstance(term, ir.CondBr):
+                succs[block.label] = (term.then_block, term.else_block)
+            elif isinstance(term, ir.SwitchBr):
+                succs[block.label] = tuple(term.targets) + (term.default,)
+            else:
+                succs[block.label] = ()
+        reachable = {"entry"}
+        frontier = ["entry"]
+        while frontier:
+            for succ in succs.get(frontier.pop(), ()):
+                if succ not in reachable:
+                    reachable.add(succ)
+                    frontier.append(succ)
+        self.mir.blocks = [block for block in self.mir.blocks
+                           if block.label in reachable]
 
     def _mark_tail_calls(self) -> None:
         """Mark ``call; ret`` pairs as tail-call candidates.
@@ -149,14 +175,8 @@ class FunctionLowerer:
             for inner in stmt.stmts:
                 self.lower_stmt(inner)
         elif isinstance(stmt, ast.ExprStmt):
-            if isinstance(stmt.expr, ast.Call) and \
-                    stmt.expr.direct_name not in INTRINSICS:
-                # Discarded call result: no filler register, so a
-                # trailing ``f();`` in a void function stays adjacent
-                # to the return and tail-call marking can fire.
-                self._emit_call(stmt.expr)
-            elif stmt.expr is not None:
-                self.rvalue(stmt.expr)
+            if stmt.expr is not None:
+                self._discard(stmt.expr)
         elif isinstance(stmt, ast.DeclStmt):
             if stmt.init is not None:
                 value = self.rvalue(stmt.init)
@@ -415,9 +435,22 @@ class FunctionLowerer:
         if isinstance(expr, ast.Cast):
             return self._rvalue_cast(expr)
         if isinstance(expr, ast.Comma):
-            self.rvalue(expr.left)
+            self._discard(expr.left)
             return self.rvalue(expr.right)
         raise CodegenError(f"cannot lower expression {type(expr).__name__}")
+
+    def _discard(self, expr: ast.Expr) -> None:
+        """Lower an expression for effect only (statement or comma LHS).
+
+        Calls get no filler result register — a trailing ``f();`` in a
+        void function stays adjacent to the return so tail-call marking
+        can fire, and a discarded void call materializes no dummy zero.
+        """
+        if isinstance(expr, ast.Call) and \
+                expr.direct_name not in INTRINSICS:
+            self._emit_call(expr)
+        else:
+            self.rvalue(expr)
 
     def _rvalue_ident(self, expr: ast.Ident) -> ir.VReg:
         if expr.binding == "func":

@@ -58,6 +58,10 @@ class BranchSiteAux:
     sig: Optional[FuncSig] = None
     targets: Tuple[int, ...] = ()   # resolved switch-case addresses
     plt_symbol: Optional[str] = None
+    #: points-to refinement for icall/tail sites: proven callee names.
+    #: Empty means unrefined; the CFG generator intersects a non-empty
+    #: hint with the type-matched set (never widening it).
+    ptargets: Tuple[str, ...] = ()
 
 
 @dataclass

@@ -98,7 +98,8 @@ def build_module(raw: RawModule, instrumented: InstrumentedAsm,
         aux.branch_sites.append(BranchSiteAux(
             site=site_base + site_info.site, kind=site_info.kind,
             fn=site_info.fn, sig=site_info.sig, targets=targets,
-            plt_symbol=site_info.plt_symbol))
+            plt_symbol=site_info.plt_symbol,
+            ptargets=site_info.ptargets))
 
     for label in instrumented.setjmp_resumes:
         aux.setjmp_resumes.append(labels[label])

@@ -36,7 +36,7 @@ from repro.mir.codegen import RawModule
 MAGIC = b"MCFOBJ\x00"
 #: Bumped whenever the on-disk layout or the pickled payload schema
 #: changes; older files are rejected with a "format version" error.
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 _ARCH_TAGS = {"x32": 0x20, "x64": 0x40}
 _TAG_ARCHS = {tag: arch for arch, tag in _ARCH_TAGS.items()}

@@ -117,6 +117,9 @@ class RunResult:
     fault: Optional[Exception] = None
     check_retries: int = 0
     updates: int = 0
+    #: dynamic check-transaction attempts (Bary-table reads); the
+    #: points-to devirtualization shrinks this by removing icall checks
+    tx_checks: int = 0
     violations: List[ViolationRecord] = field(default_factory=list)
     quarantined: List[str] = field(default_factory=list)
     #: Per-run metrics delta (a :class:`repro.obs.Snapshot` dict) when
@@ -155,6 +158,8 @@ class RunResult:
         }
         if self.check_retries:
             out["check_retries"] = self.check_retries
+        if self.tx_checks:
+            out["tx_checks"] = self.tx_checks
         if self.updates:
             out["updates"] = self.updates
         if self.violation is not None:
@@ -199,6 +204,7 @@ class RunResult:
             violation=violation, fault=fault,
             check_retries=data.get("check_retries", 0),
             updates=data.get("updates", 0),
+            tx_checks=data.get("tx_checks", 0),
             violations=[ViolationRecord.from_dict(v)
                         for v in data.get("violations", [])],
             quarantined=list(data.get("quarantined", [])),
@@ -356,6 +362,7 @@ class Runtime:
         self._finish_result(result, before)
         result.cycles = cpu.cycles
         result.instructions = cpu.instructions
+        result.tx_checks = cpu.tx_checks
         return result
 
     def run_scheduled(self, seed: int = 0, burst: int = 1,
@@ -379,7 +386,8 @@ class Runtime:
                 exit_code=outcome.exit_code, violation=outcome.violation,
                 fault=outcome.fault,
                 cycles=sum(c.cycles for c in self.cpus),
-                instructions=sum(c.instructions for c in self.cpus))
+                instructions=sum(c.instructions for c in self.cpus),
+                tx_checks=sum(c.tx_checks for c in self.cpus))
             span.set(status=result.status, ticks=outcome.ticks)
         self._finish_result(result, before)
         return result

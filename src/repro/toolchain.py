@@ -75,13 +75,24 @@ def frontend(source: str, name: str = "unit", prelude: bool = True,
 
 
 def compile_module(source: str, name: str = "unit", arch: str = "x64",
-                   prelude: bool = True) -> RawModule:
-    """Compile one TinyC module to (uninstrumented) symbolic assembly."""
+                   prelude: bool = True,
+                   optimize: bool = False) -> RawModule:
+    """Compile one TinyC module to (uninstrumented) symbolic assembly.
+
+    ``optimize`` runs the function-pointer points-to pass between
+    lowering and codegen: singleton-target indirect calls become direct
+    calls and small resolved sets become CFG target hints (see
+    :mod:`repro.analysis.dataflow.pointsto`).  Off by default so the
+    baseline artifacts the paper's tables are built from stay stable.
+    """
     with OBS.tracer.span("toolchain.compile", module=name, arch=arch):
         with OBS.tracer.span("toolchain.frontend", module=name):
             checked = frontend(source, name=name, prelude=prelude)
         with OBS.tracer.span("toolchain.lower", module=name):
             mir_module = lower_unit(checked)
+        if optimize:
+            from repro.analysis.dataflow import devirtualize_module
+            devirtualize_module(mir_module)
         with OBS.tracer.span("toolchain.codegen", module=name):
             return generate(mir_module, checked, arch=arch)
 
@@ -89,13 +100,14 @@ def compile_module(source: str, name: str = "unit", arch: str = "x64",
 def compile_and_link(sources: Dict[str, str], arch: str = "x64",
                      mcfi: bool = True, with_libc: bool = True,
                      allow_unresolved: Optional[List[str]] = None,
-                     ) -> LinkedProgram:
+                     optimize: bool = False) -> LinkedProgram:
     """Compile named sources (plus simlibc) and statically link them."""
-    raws = [compile_module(text, name=name, arch=arch)
+    raws = [compile_module(text, name=name, arch=arch, optimize=optimize)
             for name, text in sources.items()]
     if with_libc:
         from repro.workloads.libc import LIBC_SOURCE
-        raws.append(compile_module(LIBC_SOURCE, name="libc", arch=arch))
+        raws.append(compile_module(LIBC_SOURCE, name="libc", arch=arch,
+                                   optimize=optimize))
     return link(raws, mcfi=mcfi, allow_unresolved=allow_unresolved)
 
 

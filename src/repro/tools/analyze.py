@@ -12,6 +12,7 @@ Example::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List
@@ -29,6 +30,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list every classified cast")
     parser.add_argument("--no-prelude", action="store_true",
                         help="do not inject the libc declarations")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the Table 1/2 report as JSON "
+                             "(the report's to_dict() serialization)")
     return parser
 
 
@@ -41,6 +45,10 @@ def main(argv: List[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.vae == 0 else 3
 
     row = report.table1_row()
     print(f"C1 analysis of {args.input} "

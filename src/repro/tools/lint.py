@@ -1,0 +1,136 @@
+"""``python -m repro lint`` — the MIR lint plane CLI.
+
+Runs the :mod:`repro.analysis.dataflow` lint passes over the SPEC
+workloads (or any subset) and reports ``MCFI00x`` diagnostics against
+the checked-in baseline.  Lints always run on *unoptimized* MIR — the
+points-to pass deliberately leaves dead pointer loads behind when it
+devirtualizes, and linting its output would report the optimizer's
+debris instead of the source's.
+
+Modes::
+
+    python -m repro lint                      # text report, all workloads
+    python -m repro lint --workloads bzip2 gcc
+    python -m repro lint --json               # one LintReport dict each
+    python -m repro lint --check-baseline     # exit 1 on drift (CI)
+    python -m repro lint --update-baseline    # accept the current output
+
+Output ordering is deterministic: workloads in benchmark order,
+diagnostics in the stable :func:`~repro.analysis.dataflow.sort
+<repro.analysis.dataflow.diagnostics.sort_key>` order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.analysis.dataflow import Baseline, LintReport, run_lints
+from repro.errors import ReproError
+from repro.mir.lowering import lower_unit
+from repro.obs import OBS
+from repro.toolchain import frontend
+from repro.workloads.spec import BENCHMARKS, workload
+
+#: repo-root default; CI checks drift against this file.
+DEFAULT_BASELINE = Path("lint_baseline.json")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="MIR dataflow lints (MCFI001..MCFI004) over the "
+                    "SPEC workloads")
+    parser.add_argument("--workloads", nargs="+", metavar="NAME",
+                        choices=sorted(BENCHMARKS), default=None,
+                        help="subset of workloads (default: all 12)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one LintReport to_dict() per "
+                             "workload as a JSON array")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline file (default: %(default)s)")
+    parser.add_argument("--check-baseline", action="store_true",
+                        help="compare against the baseline; exit 1 on "
+                             "any unbaselined diagnostic")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run")
+    return parser
+
+
+def lint_workload(name: str) -> LintReport:
+    """Frontend + lowering + lints for one SPEC workload (no devirt)."""
+    with OBS.tracer.span("lint.workload", workload=name):
+        checked = frontend(workload(name).source, name=name)
+        return run_lints(lower_unit(checked))
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.check_baseline and args.update_baseline:
+        print("error: --check-baseline and --update-baseline are "
+              "mutually exclusive", file=sys.stderr)
+        return 2
+    names = [n for n in BENCHMARKS
+             if args.workloads is None or n in args.workloads]
+
+    reports: List[LintReport] = []
+    for name in names:
+        try:
+            reports.append(lint_workload(name))
+        except ReproError as exc:
+            print(f"error: {name}: {exc}", file=sys.stderr)
+            return 1
+
+    if args.update_baseline:
+        baseline = Baseline.load(args.baseline)
+        for report in reports:
+            baseline.record(report.unit, report.diagnostics)
+        baseline.save(args.baseline)
+        print(f"baseline updated: {args.baseline} "
+              f"({sum(len(r.diagnostics) for r in reports)} "
+              f"fingerprint(s) over {len(reports)} workload(s))")
+        return 0
+
+    drift = False
+    if args.check_baseline:
+        baseline = Baseline.load(args.baseline)
+        fresh_by_unit = {}
+        for report in reports:
+            fresh, fixed = baseline.diff(report.unit, report.diagnostics)
+            fresh_by_unit[report.unit] = (fresh, fixed)
+            drift = drift or bool(fresh)
+
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2,
+                         sort_keys=True))
+    else:
+        total = 0
+        for report in reports:
+            counts = ", ".join(f"{name}={n}"
+                               for name, n in report.pass_counts.items())
+            print(f"{report.unit}: {len(report.diagnostics)} "
+                  f"diagnostic(s) [{counts}]")
+            shown = report.diagnostics
+            if args.check_baseline:
+                shown, fixed = fresh_by_unit[report.unit]
+                for fp in fixed:
+                    print(f"  fixed (regenerate baseline): {fp}")
+            for diag in shown:
+                marker = "  NEW " if args.check_baseline else "  "
+                print(f"{marker}{diag.render()}")
+            total += len(report.diagnostics)
+        print(f"total: {total} diagnostic(s) over "
+              f"{len(reports)} workload(s)")
+
+    if args.check_baseline and drift:
+        print("baseline drift: new diagnostics above are not in "
+              f"{args.baseline}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

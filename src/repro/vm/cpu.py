@@ -95,6 +95,9 @@ class CPU:
         self.ltu = False
         self.cycles = 0
         self.instructions = 0
+        #: check-transaction attempts: one per Bary-table read (the
+        #: TLOAD_RI that opens a Try block), so retries count again
+        self.tx_checks = 0
 
     # -- fetch --------------------------------------------------------------
 
@@ -207,6 +210,7 @@ class CPU:
         elif op == Op.JMP_R:
             next_rip = regs[ops[0]]
         elif op == Op.TLOAD_RI:
+            self.tx_checks += 1
             regs[ops[0]] = self.tables.read_bary(ops[1])
         elif op == Op.TLOAD_RR:
             regs[ops[0]] = self.tables.read_tary(regs[ops[1]])

@@ -113,3 +113,81 @@ class TestTable1Reproduction:
         report = analyze_source(LIBC_SOURCE, name="libc-check")
         assert report.vbe > 0
         assert report.k2 >= 1  # thread_spawn's fptr-through-long
+
+
+class TestVariadicFptrCasts:
+    """τ(...) ↔ τ(x, ...) casts: still K-candidates (the canonical
+    types differ), but ``K1-fixed`` must respect the CFG generator's
+    variadic prefix rule — a dispatch the generator admits needs no
+    source fix."""
+
+    PREFIX_COMPATIBLE = """
+        long vf(long x) { return x + 1; }
+        long (*vp)(long, ...) = vf;
+        int main(void) { return (int)vp(41); }
+    """
+
+    INCOMPATIBLE = """
+        long wf(double x) { return 1; }
+        long (*wp)(long, ...) = wf;
+        int main(void) { return (int)wp(41); }
+    """
+
+    def test_prefix_compatible_cast_stays_k1(self):
+        report = analyze_source(self.PREFIX_COMPATIBLE, name="prefix")
+        assert report.vae == 1 and report.k1 == 1
+        assert [c.category for c in report.classified] == ["K1"]
+
+    def test_prefix_compatible_dispatch_needs_no_fix(self):
+        report = analyze_source(self.PREFIX_COMPATIBLE, name="prefix")
+        assert report.k1_fixed == 0
+
+    def test_incompatible_variadic_dispatch_needs_fix(self):
+        report = analyze_source(self.INCOMPATIBLE, name="incompat")
+        assert report.k1 == 1 and report.k1_fixed == 1
+
+    def test_undispatched_variadic_cast_needs_no_fix(self):
+        source = """
+            long vf(long x) { return x + 1; }
+            long (*vp)(long, ...) = vf;
+            int main(void) { return 0; }
+        """
+        report = analyze_source(source, name="nodispatch")
+        assert report.k1 == 1 and report.k1_fixed == 0
+
+    def test_runtime_agrees_with_k1_fixed(self):
+        """The fix claim is grounded: the prefix-compatible dispatch
+        runs to completion under MCFI, the incompatible one halts."""
+        from repro.toolchain import compile_and_run
+        ok = compile_and_run({"prefix": self.PREFIX_COMPATIBLE},
+                             verify=True)
+        assert ok.to_dict()["status"] == "ok"
+        assert ok.exit_code == 42
+        bad = compile_and_run({"incompat": self.INCOMPATIBLE},
+                              verify=True)
+        assert bad.to_dict()["status"] == "violation"
+
+
+class TestAnalysisReportSerialization:
+    def test_round_trip_through_dict(self):
+        report = analyze_source(workload("perlbench").source,
+                                name="perlbench")
+        data = report.to_dict()
+        assert data["kind"] == "analysis"
+        assert data["table1"] == report.table1_row()
+        assert data["table2"] == report.table2_row()
+        assert len(data["casts"]) == report.vbe
+        from repro.analysis.analyzer import AnalysisReport
+        clone = AnalysisReport.from_dict(data)
+        assert clone.table1_row() == report.table1_row()
+        assert clone.table2_row() == report.table2_row()
+        assert clone.unit == "perlbench" and clone.c2 == report.c2
+
+    def test_json_stable(self):
+        import json
+        report = analyze_source(workload("bzip2").source, name="bzip2")
+        first = json.dumps(report.to_dict(), sort_keys=True)
+        second = json.dumps(
+            analyze_source(workload("bzip2").source,
+                           name="bzip2").to_dict(), sort_keys=True)
+        assert first == second

@@ -165,3 +165,58 @@ class TestVerifier:
         module.code = bytes(code)
         with pytest.raises(VerificationError):
             verify_module(module)
+
+
+class TestVerifierNegativePaths:
+    """A module from a buggy or malicious rewriter must not verify."""
+
+    def test_rejects_clobber_between_mask_and_store(self):
+        """A register write between the movzx32 mask and the store
+        re-opens the sandbox: the masked value may be replaced by an
+        attacker-controlled one, so the verifier must reject."""
+        from repro.isa.assembler import AsmInstr, assemble
+        from repro.core.instrument import InstrumentedAsm
+        from repro.module.module import build_module
+
+        raw = compile_module("void f(long *p) { *p = 1; }", name="clob")
+        instrumented = instrument_items(raw)
+        items = list(instrumented.items)
+        stores = (Op.STORE8, Op.STORE16, Op.STORE32, Op.STORE64)
+        patched = False
+        for index, item in enumerate(items[:-1]):
+            nxt = items[index + 1]
+            if (isinstance(item, AsmInstr) and item.op == Op.MOVZX32
+                    and isinstance(nxt, AsmInstr) and nxt.op in stores
+                    and nxt.operands[0] == item.operands[0]
+                    # frame-relative stores are exempt from masking
+                    and nxt.operands[0] not in (Reg.RSP, Reg.RBP)):
+                items.insert(index + 1,
+                             AsmInstr(Op.ADD_RI, (item.operands[0], 0)))
+                patched = True
+                break
+        assert patched, "no mask/store pair found to tamper with"
+
+        assembled = assemble(items)
+        module = build_module(
+            raw, InstrumentedAsm(items=items, sites=instrumented.sites,
+                                 setjmp_resumes=instrumented.setjmp_resumes),
+            assembled)
+        with pytest.raises(VerificationError, match="unsandboxed store"):
+            verify_module(module)
+
+    def test_rejects_misaligned_switch_target_in_aux(self, demo_program):
+        """Auxiliary info claiming a misaligned switch-case target must
+        fail check 4 — a misaligned target could land mid-instruction."""
+        import copy
+        import dataclasses
+        module = copy.deepcopy(demo_program.module)
+        for index, site in enumerate(module.aux.branch_sites):
+            if site.kind == "switch" and site.targets:
+                bad = (site.targets[0] + 1,) + site.targets[1:]
+                module.aux.branch_sites[index] = \
+                    dataclasses.replace(site, targets=bad)
+                break
+        else:
+            pytest.fail("demo module has no switch site")
+        with pytest.raises(VerificationError, match="aligned"):
+            verify_module(module)

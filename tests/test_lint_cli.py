@@ -1,0 +1,121 @@
+"""Tests for ``python -m repro lint`` (the lint plane CLI, PR 4)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.dataflow import Diagnostic, LintReport
+from repro.cli import main as cli_main
+from repro.tools import lint as lint_tool
+
+REPO_BASELINE = Path(__file__).resolve().parent.parent / \
+    "lint_baseline.json"
+
+
+def run_lint(capsys, *argv):
+    code = lint_tool.main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestLintCli:
+    def test_single_workload_text(self, capsys):
+        code, out, _ = run_lint(capsys, "--workloads", "mcf")
+        assert code == 0
+        assert "mcf: 0 diagnostic(s)" in out
+        assert "total: 0 diagnostic(s) over 1 workload(s)" in out
+
+    def test_json_output_is_lint_reports(self, capsys):
+        code, out, _ = run_lint(capsys, "--workloads", "mcf", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert len(payload) == 1
+        assert payload[0]["kind"] == "lint"
+        assert payload[0]["unit"] == "mcf"
+        assert payload[0]["diagnostics"] == []
+        assert set(payload[0]["passes"]) == {"deadcode", "sandbox-store"}
+
+    def test_json_is_deterministic(self, capsys):
+        _, first, _ = run_lint(capsys, "--workloads", "mcf", "--json")
+        _, second, _ = run_lint(capsys, "--workloads", "mcf", "--json")
+        assert first == second
+
+    def test_checked_in_baseline_is_current(self, capsys):
+        """CI contract: the repo baseline matches a fresh run."""
+        code, out, _ = run_lint(
+            capsys, "--workloads", "mcf", "sjeng",
+            "--baseline", str(REPO_BASELINE), "--check-baseline")
+        assert code == 0
+        assert "NEW" not in out
+
+    def test_checked_in_baseline_covers_every_workload(self):
+        from repro.analysis.dataflow import Baseline
+        from repro.workloads.spec import BENCHMARKS
+        baseline = Baseline.load(REPO_BASELINE)
+        assert set(baseline.workloads) == set(BENCHMARKS)
+
+    def test_update_baseline_writes_file(self, capsys, tmp_path):
+        path = tmp_path / "baseline.json"
+        code, out, _ = run_lint(capsys, "--workloads", "mcf",
+                                "--baseline", str(path),
+                                "--update-baseline")
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert data["workloads"] == {"mcf": []}
+
+    def test_drift_fails_check(self, capsys, tmp_path, monkeypatch):
+        injected = Diagnostic(code="MCFI003", unit="mcf",
+                              function="f", block="entry", index=0,
+                              message="injected")
+
+        def fake_lint(name):
+            return LintReport(unit=name, diagnostics=[injected],
+                              pass_counts={"deadcode": 0,
+                                           "sandbox-store": 1})
+
+        monkeypatch.setattr(lint_tool, "lint_workload", fake_lint)
+        path = tmp_path / "empty.json"
+        code, out, err = run_lint(capsys, "--workloads", "mcf",
+                                  "--baseline", str(path),
+                                  "--check-baseline")
+        assert code == 1
+        assert "NEW" in out and "MCFI003" in out
+        assert "drift" in err
+
+        # once baselined, the same finding is suppressed
+        code, _, _ = run_lint(capsys, "--workloads", "mcf",
+                              "--baseline", str(path),
+                              "--update-baseline")
+        assert code == 0
+        code, out, _ = run_lint(capsys, "--workloads", "mcf",
+                                "--baseline", str(path),
+                                "--check-baseline")
+        assert code == 0
+        assert "NEW" not in out
+
+    def test_check_and_update_are_exclusive(self, capsys):
+        code, _, err = run_lint(capsys, "--check-baseline",
+                                "--update-baseline")
+        assert code == 2
+        assert "mutually exclusive" in err
+
+    def test_umbrella_cli_routes_lint(self, capsys):
+        assert cli_main(["lint", "--workloads", "mcf"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf: 0 diagnostic(s)" in out
+
+    def test_umbrella_trace_wraps_lint(self, capsys, tmp_path):
+        trace = tmp_path / "lint.jsonl"
+        code = cli_main(["--trace", str(trace), "--seed", "1",
+                         "lint", "--workloads", "mcf"])
+        assert code == 0
+        lines = [json.loads(line)
+                 for line in trace.read_text().splitlines() if line]
+        names = {entry["name"] for entry in lines if "name" in entry}
+        assert "dataflow.lint" in names
+        assert "dataflow.lint.deadcode" in names
+        assert "dataflow.lint.sandbox-store" in names

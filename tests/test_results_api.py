@@ -57,6 +57,16 @@ class TestRunResult:
         clone = RunResult.from_dict(result.to_dict())
         assert clone.obs == {"counters": {"vm.runs": 1}}
 
+    def test_tx_checks_round_trip(self):
+        result = RunResult(exit_code=0, tx_checks=17)
+        data = result.to_dict()
+        assert data["tx_checks"] == 17
+        assert RunResult.from_dict(data).tx_checks == 17
+        # zero is elided from the dict (schema 3) but restores as 0
+        bare = RunResult(exit_code=0).to_dict()
+        assert "tx_checks" not in bare
+        assert RunResult.from_dict(bare).tx_checks == 0
+
 
 class TestViolationRecord:
     def test_round_trip(self):
