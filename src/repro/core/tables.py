@@ -74,6 +74,9 @@ class IdTables:
                 "(the ABA hazard of Sec. 5.2); a reset requires every "
                 "thread to pass a quiescent point")
         self.updates_since_reset += 1
+        # Invalidate any fused fast paths in the dispatch plane: the
+        # tables just changed under a completed update transaction.
+        self.memory.generation += 1
 
     def aba_reset(self) -> None:
         """Reset the update counter (caller observed quiescence)."""

@@ -72,7 +72,7 @@ def _note_escalation(retries: int) -> None:
 
 
 def tx_check(tables: IdTables, site: int, target: int,
-             max_retries: int = 1_000_000) -> Tuple[str, int]:
+             max_retries: int = DEFAULT_CHECK_RETRIES) -> Tuple[str, int]:
     """Python transcription of the Fig. 4 check transaction.
 
     Returns ``(result, retries)``.  Retries when the branch and target
@@ -283,11 +283,18 @@ class UpdateTransaction:
                     yield
             # Branch sites absent from the new CFG (an unloaded module)
             # are zeroed: a stale branch ID never matches any valid
-            # target ID, so orphaned code halts fail-safe.
+            # target ID, so orphaned code halts fail-safe.  Zeroing is
+            # batched like the copy loops above (continuing the same
+            # batch counter), so unloading a large module never holds
+            # the scheduler for one unbounded atomic step.
             for site in tables.bary_ecns:
                 if site not in self.new_bary:
                     memory.write_bary(bary_index(site), 0)
                     bary_writes += 1
+                    count += 1
+                    if count % self.batch == 0:
+                        hold_steps += 1
+                        yield
 
             tables.version = version
             tables.tary_ecns = dict(self.new_tary)

@@ -263,6 +263,15 @@ def instruction_length(op: Op) -> int:
 #: Maximum encoded instruction length (used by the decoder and scanner).
 MAX_INSTRUCTION_LENGTH = max(instruction_length(op) for op in SPECS)
 
+#: Opcodes that end a decoded basic block in the VM's dispatch plane
+#: (:mod:`repro.vm.dispatch`): every control transfer plus the two
+#: instructions whose execution leaves the straight-line path by
+#: raising or by re-entering the trusted runtime.  Stored as plain ints
+#: because the dispatch plane indexes by the opcode byte.
+BLOCK_TERMINATORS = frozenset(
+    int(op) for op, spec in SPECS.items()
+    if spec.is_branch or op in (Op.SYSCALL, Op.HLT))
+
 
 @dataclass(frozen=True)
 class Instruction:

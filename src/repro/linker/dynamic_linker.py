@@ -116,6 +116,10 @@ class LoadJournal:
         # security window; everything else is bookkeeping.
         runtime.tables.tary[:] = self.tary
         runtime.tables.bary[:] = self.bary
+        # The raw restore bypasses write_tary/write_bary, so bump the
+        # write-generation stamp by hand: any branch ID the dispatch
+        # plane's fused check transactions cached is now stale.
+        runtime.tables.generation += 1
         tables = runtime.id_tables
         tables.version = self.version
         tables.tary_ecns = dict(self.tary_ecns)
@@ -136,6 +140,8 @@ class LoadJournal:
             for address in list(runtime.icache):
                 if self.code_cursor <= address < linker._code_cursor:
                     del runtime.icache[address]
+            runtime.dispatch_cache.invalidate_range(self.code_cursor,
+                                                    linker._code_cursor)
         linker._code_cursor = self.code_cursor
         linker._data_cursor = self.data_cursor
         linker._next_site = self.next_site
@@ -288,6 +294,8 @@ class DynamicLinker:
         for address in list(self.runtime.icache):
             if module.base <= address < module.limit:
                 del self.runtime.icache[address]
+        self.runtime.dispatch_cache.invalidate_range(module.base,
+                                                     module.limit)
 
     def _rebuild_merged(self) -> AuxInfo:
         parts = [self._strip(self._base_aux)]

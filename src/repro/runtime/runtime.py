@@ -42,6 +42,7 @@ from repro.errors import (
 from repro.linker.static_linker import LinkedProgram
 from repro.obs import OBS
 from repro.vm.cpu import CPU, ProgramExit, ThreadExit
+from repro.vm.dispatch import DispatchCache
 from repro.vm.memory import (
     CODE_LIMIT,
     DATA_LIMIT,
@@ -258,6 +259,10 @@ class Runtime:
         self.id_tables = IdTables(self.tables)
         self.update_lock = UpdateLock()
         self.icache: Dict[int, tuple] = {}
+        #: Compiled-closure + decoded-block cache for the dispatch
+        #: plane; shared by every CPU of this address space and
+        #: invalidated alongside the icache (see repro.vm.dispatch).
+        self.dispatch_cache = DispatchCache()
         self.output = bytearray()
         self.cfg: Optional[Cfg] = None
         self.cpus: List[CPU] = []
@@ -318,7 +323,8 @@ class Runtime:
 
     def new_cpu(self, entry: int, args: Optional[List[int]] = None) -> CPU:
         cpu = CPU(self.memory, self.tables, syscall_handler=self.syscall,
-                  icache=self.icache, thread_id=len(self.cpus))
+                  icache=self.icache, thread_id=len(self.cpus),
+                  dispatch_cache=self.dispatch_cache)
         cpu.rip = entry
         self._next_stack -= _STACK_SLOT
         if self._next_stack < STACK_BASE:

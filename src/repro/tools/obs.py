@@ -85,6 +85,8 @@ METRIC_CATALOG = (
     ("counter", "vm.runs", "CPU run-loop entries"),
     ("counter", "vm.instructions", "instructions executed"),
     ("counter", "vm.cycles", "cycles consumed"),
+    ("counter", "vm.dispatch.blocks_built", "decoded basic blocks built"),
+    ("counter", "vm.dispatch.fused_sites", "check sequences fused"),
     ("counter", "runtime.violations.<action>",
      "violations by policy action"),
     ("counter", "linker.dlopens", "successful dlopens"),

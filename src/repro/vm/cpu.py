@@ -12,6 +12,18 @@ interleaves whole steps, so every memory and table access is atomic at
 instruction granularity — the same atomicity the paper gets from 4-byte
 aligned ID loads/stores on x86.
 
+Dispatch
+--------
+``step()`` executes through the :mod:`repro.vm.dispatch` plane: each
+decoded instruction is specialized once into a closure and cached, so
+the historic ``if/elif`` chain is gone from the hot path.  The chain
+survives verbatim as :meth:`CPU.step_reference` — the executable
+semantics spec that conformance tests diff the dispatch plane against.
+Single-threaded ``run()`` additionally executes whole decoded basic
+blocks (and fused check transactions) from the shared
+:class:`~repro.vm.dispatch.DispatchCache`; the scheduler always goes
+through ``step()``, preserving per-instruction interleaving.
+
 Flags
 -----
 Unlike x86, only the compare/test family sets flags (``cmp``, ``test``,
@@ -42,6 +54,12 @@ from repro.isa.encoding import decode
 from repro.isa.instructions import MAX_INSTRUCTION_LENGTH, Op
 from repro.isa.registers import Reg
 from repro.obs import OBS
+from repro.vm.dispatch import (
+    MAX_BLOCK_ADVANCE,
+    DispatchCache,
+    build_block,
+    compile_entry,
+)
 from repro.vm.memory import Memory, PAGE_SIZE, TableMemory
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -82,11 +100,18 @@ class CPU:
     def __init__(self, memory: Memory, tables: TableMemory,
                  syscall_handler: Optional[Callable[["CPU"], None]] = None,
                  icache: Optional[Dict[int, Tuple[int, Tuple[int, ...], int, int]]] = None,
-                 thread_id: int = 0) -> None:
+                 thread_id: int = 0,
+                 dispatch_cache: Optional[DispatchCache] = None) -> None:
         self.memory = memory
         self.tables = tables
         self.syscall_handler = syscall_handler
         self.icache = icache if icache is not None else {}
+        #: Compiled-closure and decoded-block caches; shared across the
+        #: CPUs of one address space exactly like the icache, and
+        #: invalidated alongside it by the dynamic linker.
+        self.dispatch_cache = (dispatch_cache if dispatch_cache is not None
+                               else DispatchCache())
+        self.ccache = self.dispatch_cache.closures
         self.thread_id = thread_id
         self.regs = [0] * 16
         self.rip = 0
@@ -98,6 +123,10 @@ class CPU:
         #: check-transaction attempts: one per Bary-table read (the
         #: TLOAD_RI that opens a Try block), so retries count again
         self.tx_checks = 0
+        #: set when the current instruction raised during fetch/decode,
+        #: i.e. *before* any counter was charged; ``run()`` uses it to
+        #: report the retired-instruction count exactly.
+        self._decode_fault = False
 
     # -- fetch --------------------------------------------------------------
 
@@ -126,7 +155,38 @@ class CPU:
     # -- execution ----------------------------------------------------------
 
     def step(self) -> None:
-        """Execute exactly one instruction at ``rip``."""
+        """Execute exactly one instruction at ``rip``.
+
+        Dispatch is closure-driven: the decoded instruction is
+        specialized once by :func:`repro.vm.dispatch.compile_entry` and
+        cached, then every later execution is a single dict probe plus
+        a call.  Architectural semantics are bit-identical to
+        :meth:`step_reference`.
+        """
+        rip = self.rip
+        fn = self.ccache.get(rip)
+        if fn is None:
+            entry = self.icache.get(rip)
+            if entry is None:
+                try:
+                    entry = self._fetch_decode(rip)
+                except BaseException:
+                    self._decode_fault = True
+                    raise
+            fn = compile_entry(entry, rip)
+            self.ccache[rip] = fn
+        self.rip = fn(self)
+
+    def step_reference(self) -> None:
+        """Execute one instruction via the original ``if/elif`` chain.
+
+        This is the executable semantics spec: the dispatch plane must
+        match it bit-for-bit on every architectural observable, and the
+        conformance tests (and ``bench_vm_dispatch.py --conformance``)
+        diff the two.  Force a CPU onto it with
+        ``cpu.step = cpu.step_reference`` — an instance-level ``step``
+        also makes ``run()`` take the per-instruction path.
+        """
         rip = self.rip
         entry = self.icache.get(rip)
         if entry is None:
@@ -235,15 +295,14 @@ class CPU:
             self.memory.write_u32((regs[ops[0]] + ops[1]) & _MASK64,
                                   regs[ops[2]])
         elif op == Op.LOAD16:
-            address = (regs[ops[1]] + ops[2]) & _MASK64
-            low = self.memory.read_u8(address)
-            high = self.memory.read_u8(address + 1)
-            regs[ops[0]] = low | (high << 8)
+            regs[ops[0]] = self.memory.read_u16(
+                (regs[ops[1]] + ops[2]) & _MASK64)
         elif op == Op.STORE16:
-            address = (regs[ops[0]] + ops[1]) & _MASK64
-            value = regs[ops[2]]
-            self.memory.write_u8(address, value & 0xFF)
-            self.memory.write_u8(address + 1, (value >> 8) & 0xFF)
+            # One atomic store: write_u16 validates both byte
+            # addresses before mutating, so a page-boundary fault can
+            # never leave a torn one-byte partial write.
+            self.memory.write_u16((regs[ops[0]] + ops[1]) & _MASK64,
+                                  regs[ops[2]])
         elif op == Op.SAR_RI:
             regs[ops[0]] = (_signed(regs[ops[0]]) >> (ops[1] & 63)) & _MASK64
         elif op == Op.SAR_RR:
@@ -311,9 +370,16 @@ class CPU:
         elif op == Op.FCMP_RR:
             left = _float_of(regs[ops[0]])
             right = _float_of(regs[ops[1]])
-            self.zf = left == right
-            self.lt = left < right
-            self.ltu = left < right
+            if left != left or right != right:
+                # Unordered (NaN operand): x86 ucomisd sets ZF=CF=1 and
+                # SF=OF=0, so je/jb/jbe observe "equal/below" and
+                # jl/jg observe "not less/not greater".
+                self.zf = True
+                self.lt = False
+                self.ltu = True
+            else:
+                self.zf = left == right
+                self.lt = self.ltu = left < right
         elif op == Op.CVTSI2F:
             regs[ops[0]] = _bits_of(float(_signed(regs[ops[0]])))
         elif op == Op.CVTF2SI:
@@ -329,29 +395,81 @@ class CPU:
         runaway programs (raises :class:`VMError` when exceeded).
         CFI violations and memory faults propagate as exceptions.
 
+        Single-threaded execution takes the basic-block fast path:
+        straight-line runs execute as one loop over cached closures
+        without re-entering ``step()``, and recognized check
+        transactions execute as one fused macro-op (see
+        :mod:`repro.vm.dispatch`).  If an instance-level ``step`` hook
+        is installed (a :class:`~repro.vm.trace.BranchTracer`, or
+        ``cpu.step = cpu.step_reference``), execution stays strictly
+        per-instruction through the hook.  Either way the architectural
+        observables are identical.
+
         Observability is recorded once per call (a ``vm.run`` span and
         instruction/cycle counters), never per step — the dispatch loop
         stays untouched.
         """
-        executed = 0
         cycles_before = self.cycles
-        step = self.step
+        instructions_before = self.instructions
+        blocks_before = self.dispatch_cache.blocks_built
+        fused_before = self.dispatch_cache.fused_sites
+        self._decode_fault = False
+        limit_error = False
         span = OBS.tracer.begin("vm.run", thread=self.thread_id)
         try:
+            if "step" in self.__dict__:
+                step = self.step
+                executed = 0
+                while True:
+                    step()
+                    executed += 1
+                    if max_steps and executed >= max_steps:
+                        limit_error = True
+                        raise VMError(f"exceeded step limit of {max_steps}")
+            blocks = self.dispatch_cache.blocks
+            # With a step limit, finish the last stretch per-instruction
+            # so the limit check lands on the exact instruction the
+            # reference interpreter would raise at.
+            threshold = max_steps - MAX_BLOCK_ADVANCE if max_steps else 0
             while True:
-                step()
-                executed += 1
-                if max_steps and executed >= max_steps:
-                    raise VMError(f"exceeded step limit of {max_steps}")
+                if max_steps and (self.instructions -
+                                  instructions_before) >= threshold:
+                    step = self.step
+                    while True:
+                        step()
+                        if (self.instructions -
+                                instructions_before) >= max_steps:
+                            limit_error = True
+                            raise VMError(
+                                f"exceeded step limit of {max_steps}")
+                rip = self.rip
+                block = blocks.get(rip)
+                if block is None:
+                    block = build_block(self, rip)
+                self.rip = block.execute(self)
         except ProgramExit as program_exit:
             return program_exit.code
         finally:
+            # ``executed`` counts *retired* steps, exactly like the
+            # seed's per-step loop: an instruction that charged its
+            # counters but then raised (including the exiting syscall)
+            # is not retired; one that failed to even decode charged
+            # nothing and is likewise excluded.
+            executed = self.instructions - instructions_before
+            if executed and not limit_error and not self._decode_fault:
+                executed -= 1
             if OBS.enabled:
                 metrics = OBS.metrics
                 metrics.counter("vm.runs").inc()
                 metrics.counter("vm.instructions").inc(executed)
                 metrics.counter("vm.cycles").inc(
                     self.cycles - cycles_before)
+                built = self.dispatch_cache.blocks_built - blocks_before
+                fused = self.dispatch_cache.fused_sites - fused_before
+                if built:
+                    metrics.counter("vm.dispatch.blocks_built").inc(built)
+                if fused:
+                    metrics.counter("vm.dispatch.fused_sites").inc(fused)
             span.end(instructions=executed,
                      cycles=self.cycles - cycles_before)
 

@@ -22,12 +22,17 @@ flat address space: the only way application code can touch it is via
 
 from __future__ import annotations
 
+import struct
 from typing import Dict, Set
 
 from repro.errors import MemoryFault
 
 PAGE_SIZE = 0x1000
 PAGE_SHIFT = 12
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
 
 CODE_BASE = 0x10000
 CODE_LIMIT = 0x400000          # 4 MiB of code address space
@@ -100,16 +105,50 @@ class Memory:
 
     # -- checked access (application) --------------------------------------
 
+    # The word accessors below take a no-copy fast path when the access
+    # stays inside one page (the overwhelmingly common case on the VM's
+    # hot load/store/stack paths) and fall back to the general
+    # byte-slicing ``_read``/``_write`` only for page-straddling
+    # accesses.  Fault addresses are identical on both paths.
+
     def read_u8(self, address: int) -> int:
         page = address >> PAGE_SHIFT
         if page not in self._readable:
             raise MemoryFault(address, "read")
         return self._pages[page][address & (PAGE_SIZE - 1)]
 
+    def read_u16(self, address: int) -> int:
+        """Atomic 16-bit read; faults before observing either byte."""
+        offset = address & (PAGE_SIZE - 1)
+        page = address >> PAGE_SHIFT
+        if offset <= PAGE_SIZE - 2:
+            if page not in self._readable:
+                raise MemoryFault(address, "read")
+            return _U16.unpack_from(self._pages[page], offset)[0]
+        if page not in self._readable:
+            raise MemoryFault(address, "read")
+        high_page = page + 1
+        if high_page not in self._readable:
+            raise MemoryFault(address + 1, "read")
+        return (self._pages[page][PAGE_SIZE - 1]
+                | (self._pages[high_page][0] << 8))
+
     def read_u64(self, address: int) -> int:
+        offset = address & (PAGE_SIZE - 1)
+        if offset <= PAGE_SIZE - 8:
+            page = address >> PAGE_SHIFT
+            if page not in self._readable:
+                raise MemoryFault(address, "read")
+            return _U64.unpack_from(self._pages[page], offset)[0]
         return int.from_bytes(self._read(address, 8), "little")
 
     def read_u32(self, address: int) -> int:
+        offset = address & (PAGE_SIZE - 1)
+        if offset <= PAGE_SIZE - 4:
+            page = address >> PAGE_SHIFT
+            if page not in self._readable:
+                raise MemoryFault(address, "read")
+            return _U32.unpack_from(self._pages[page], offset)[0]
         return int.from_bytes(self._read(address, 4), "little")
 
     def write_u8(self, address: int, value: int) -> None:
@@ -118,10 +157,44 @@ class Memory:
             raise MemoryFault(address, "write")
         self._pages[page][address & (PAGE_SIZE - 1)] = value & 0xFF
 
+    def write_u16(self, address: int, value: int) -> None:
+        """Atomic 16-bit store: both byte addresses are validated
+        before either byte is written, so a fault at a page boundary
+        (e.g. a read-only second page) can never leave a torn,
+        one-byte partial store behind."""
+        offset = address & (PAGE_SIZE - 1)
+        page = address >> PAGE_SHIFT
+        if offset <= PAGE_SIZE - 2:
+            if page not in self._writable:
+                raise MemoryFault(address, "write")
+            _U16.pack_into(self._pages[page], offset, value & 0xFFFF)
+            return
+        if page not in self._writable:
+            raise MemoryFault(address, "write")
+        high_page = page + 1
+        if high_page not in self._writable:
+            raise MemoryFault(address + 1, "write")
+        self._pages[page][PAGE_SIZE - 1] = value & 0xFF
+        self._pages[high_page][0] = (value >> 8) & 0xFF
+
     def write_u32(self, address: int, value: int) -> None:
+        offset = address & (PAGE_SIZE - 1)
+        if offset <= PAGE_SIZE - 4:
+            page = address >> PAGE_SHIFT
+            if page not in self._writable:
+                raise MemoryFault(address, "write")
+            _U32.pack_into(self._pages[page], offset, value & 0xFFFFFFFF)
+            return
         self._write(address, (value & 0xFFFFFFFF).to_bytes(4, "little"))
 
     def write_u64(self, address: int, value: int) -> None:
+        offset = address & (PAGE_SIZE - 1)
+        if offset <= PAGE_SIZE - 8:
+            page = address >> PAGE_SHIFT
+            if page not in self._writable:
+                raise MemoryFault(address, "write")
+            _U64.pack_into(self._pages[page], offset, value & _MASK64)
+            return
         self._write(address, (value & _MASK64).to_bytes(8, "little"))
 
     def read_bytes(self, address: int, size: int) -> bytes:
@@ -169,6 +242,20 @@ class Memory:
     def _write(self, address: int, payload: bytes,
                check: Set[int] | None | str = "default") -> None:
         check_set = self._writable if check == "default" else check
+        # Page-straddling stores validate every page up front so a
+        # protection fault on a later page cannot leave a torn partial
+        # write (one VM instruction is one atomic store).  The fault
+        # address matches the lazy path: the first offending byte.
+        if payload and (address + len(payload) - 1) >> PAGE_SHIFT != \
+                address >> PAGE_SHIFT:
+            first = address >> PAGE_SHIFT
+            last = (address + len(payload) - 1) >> PAGE_SHIFT
+            for page in range(first, last + 1):
+                bad = max(address, page << PAGE_SHIFT)
+                if check_set is not None and page not in check_set:
+                    raise MemoryFault(bad, "write")
+                if page not in self._pages:
+                    raise MemoryFault(bad, "write", "unmapped")
         remaining = len(payload)
         cursor = address
         index = 0
@@ -210,6 +297,14 @@ class TableMemory:
         self.bary = bytearray(4 * bary_entries)
         self.tary_size = tary_size
         self.bary_entries = bary_entries
+        #: Monotonic write-generation stamp.  Every privileged table
+        #: store bumps it, and so do bulk restores (journal rollback)
+        #: and :meth:`repro.core.tables.IdTables.note_update`.  The
+        #: dispatch plane's fused check transactions compare it to
+        #: decide whether a cached branch-ID read is still current —
+        #: any update transaction therefore invalidates fused fast
+        #: paths (see :mod:`repro.vm.dispatch`).
+        self.generation = 0
 
     # Reads are what TxCheck performs; they are atomic at 4-byte
     # granularity because the scheduler interleaves whole instructions.
@@ -231,8 +326,10 @@ class TableMemory:
         if index % 4:
             raise MemoryFault(index, "tary-write", "unaligned ID store")
         self.tary[index:index + 4] = (ident & 0xFFFFFFFF).to_bytes(4, "little")
+        self.generation += 1
 
     def write_bary(self, index: int, ident: int) -> None:
         if index % 4:
             raise MemoryFault(index, "bary-write", "unaligned ID store")
         self.bary[index:index + 4] = (ident & 0xFFFFFFFF).to_bytes(4, "little")
+        self.generation += 1

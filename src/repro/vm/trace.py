@@ -54,6 +54,12 @@ class BranchTracer:
         self.events: List[BranchEvent] = []
         self.indirect_only = indirect_only
         self.limit = limit
+        # Remember whether the CPU already carried an instance-level
+        # step hook: detach() must restore that exact state.  Leaving
+        # a stray instance attribute behind would permanently force
+        # run() off the basic-block fast path (it detects hooks via
+        # ``"step" in cpu.__dict__``).
+        self._had_instance_step = "step" in cpu.__dict__
         self._original_step = cpu.step
         cpu.step = self._traced_step  # type: ignore[method-assign]
 
@@ -80,7 +86,15 @@ class BranchTracer:
         return op in (_INDIRECT if self.indirect_only else _BRANCHES)
 
     def detach(self) -> None:
-        self.cpu.step = self._original_step  # type: ignore[method-assign]
+        if self._had_instance_step:
+            self.cpu.step = self._original_step  # type: ignore[method-assign]
+        else:
+            # Drop our hook entirely so the class method shows through
+            # again and run() may resume block dispatch.
+            try:
+                del self.cpu.step
+            except AttributeError:
+                pass
 
     def summary(self) -> Dict[str, int]:
         out: Dict[str, int] = {}

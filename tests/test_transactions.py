@@ -409,3 +409,103 @@ class TestPeriodicUpdater:
         scheduler.run(max_ticks=10_000)
         assert counter.get("updates", 0) >= 2
         assert tables.version == counter["updates"]
+
+
+class TestUnifiedRetryBudget:
+    """PR 5 bugfix: tx_check and tx_check_gen share one default retry
+    budget (DEFAULT_CHECK_RETRIES) and escalate at the same bound."""
+
+    def _stale_tables(self):
+        tables = make_tables({0x1000: 7}, {0: 7}, version=3)
+        tables.memory.write_tary(tary_index(0x1000), pack_id(7, 2))
+        return tables
+
+    def test_defaults_agree(self):
+        import inspect
+        from repro.core.transactions import DEFAULT_CHECK_RETRIES
+
+        check_default = inspect.signature(tx_check) \
+            .parameters["max_retries"].default
+        gen_default = inspect.signature(tx_check_gen) \
+            .parameters["max_retries"].default
+        assert check_default == gen_default == DEFAULT_CHECK_RETRIES
+
+    def test_both_escalate_at_the_same_bound(self):
+        """Under the default budget, both transcriptions give up after
+        exactly DEFAULT_CHECK_RETRIES retries."""
+        from repro.core.transactions import DEFAULT_CHECK_RETRIES
+
+        with pytest.raises(TableIntegrityError) as direct:
+            tx_check(self._stale_tables(), 0, 0x1000)
+
+        gen = tx_check_gen(self._stale_tables(), 0, 0x1000, [])
+        with pytest.raises(TableIntegrityError) as scheduled:
+            for _ in gen:
+                pass
+
+        assert direct.value.retries == scheduled.value.retries \
+            == DEFAULT_CHECK_RETRIES + 1
+
+
+class TestOrphanZeroingBatched:
+    """PR 5 bugfix: the stale-Bary zeroing loop in UpdateTransaction
+    yields per batch, so unloading a large module is not one unbounded
+    atomic step."""
+
+    N_ORPHANS = 64
+
+    def _unload_transaction(self, batch):
+        # All Bary sites present, then an update that drops every one
+        # of them (a full module unload): the old run() zeroed them in
+        # a single atomic stretch after the last copy-loop yield.
+        tables = make_tables(
+            {0x1000 + 4 * i: 1 for i in range(4)},
+            {site: 1 for site in range(self.N_ORPHANS)})
+        return tables, UpdateTransaction(
+            tables, UpdateLock(),
+            new_tary={0x1000 + 4 * i: 1 for i in range(4)},
+            new_bary={}, batch=batch)
+
+    def _zeroed(self, tables):
+        from repro.core.tables import bary_index as bidx
+        return sum(1 for site in range(self.N_ORPHANS)
+                   if tables.memory.read_bary(bidx(site)) == 0)
+
+    def test_zeroing_yields_per_batch(self):
+        batch = 8
+        tables, update = self._unload_transaction(batch)
+        observed = []
+        for _ in update.run():
+            observed.append(self._zeroed(tables))
+        assert update.completed
+        assert self._zeroed(tables) == self.N_ORPHANS
+        # The scheduler observes the zeroing in progress: several
+        # distinct partial states, none of them jumping by more than
+        # one batch of sites.
+        partial = [z for z in observed if 0 < z < self.N_ORPHANS]
+        assert len(set(partial)) >= self.N_ORPHANS // batch - 1
+        progress = [z for z in observed if z > 0]
+        for before, after in zip(progress, progress[1:]):
+            assert after - before <= batch
+
+    @given(st.integers(min_value=0, max_value=99))
+    @settings(max_examples=20, deadline=None)
+    def test_interleaved_checker_sees_partial_unload(self, seed):
+        """Property: under any seeded interleaving, a concurrent reader
+        can observe the unload mid-zeroing — the transaction never
+        holds the scheduler through the whole orphan loop."""
+        tables, update = self._unload_transaction(batch=4)
+        partials = []
+
+        def reader():
+            while not update.completed:
+                partials.append(self._zeroed(tables))
+                yield
+
+        scheduler = Scheduler(seed=seed)
+        scheduler.add_generator(reader(), "reader")
+        scheduler.add_generator(update.run(), "updater")
+        assert scheduler.run(max_ticks=100_000).ok
+        assert update.completed
+        assert any(0 < z < self.N_ORPHANS for z in partials), \
+            "reader never observed the zeroing in progress"

@@ -131,3 +131,72 @@ class TestTableMemory:
         tables.write_tary(4, pack_id(2, 1))
         for offset in (1, 2, 3):
             assert not is_valid_id(tables.read_tary(offset))
+
+
+class TestAtomic16BitAccess:
+    """PR 5 bugfix: 16-bit accessors validate both byte addresses
+    before touching memory — no torn page-boundary stores."""
+
+    def _boundary_memory(self, second_writable):
+        mem = Memory()
+        mem.map(0x10000, PAGE_SIZE, readable=True, writable=True)
+        mem.map(0x10000 + PAGE_SIZE, PAGE_SIZE, readable=True,
+                writable=second_writable)
+        return mem, 0x10000 + PAGE_SIZE - 1
+
+    def test_u16_roundtrip_within_page(self):
+        mem, _ = self._boundary_memory(True)
+        mem.write_u16(0x10010, 0xBEEF)
+        assert mem.read_u16(0x10010) == 0xBEEF
+        assert mem.read_u8(0x10010) == 0xEF
+        assert mem.read_u8(0x10011) == 0xBE
+
+    def test_u16_roundtrip_across_pages(self):
+        mem, boundary = self._boundary_memory(True)
+        mem.write_u16(boundary, 0xBBAA)
+        assert mem.read_u16(boundary) == 0xBBAA
+        assert mem.read_u8(boundary) == 0xAA
+        assert mem.read_u8(boundary + 1) == 0xBB
+
+    def test_store_into_readonly_second_page_not_torn(self):
+        mem, boundary = self._boundary_memory(False)
+        mem.write_u8(boundary, 0x55)
+        with pytest.raises(MemoryFault) as err:
+            mem.write_u16(boundary, 0xBBAA)
+        assert err.value.address == boundary + 1
+        # The bug: the low byte was written before the fault.
+        assert mem.read_u8(boundary) == 0x55
+
+    def test_store_into_unmapped_second_page_not_torn(self):
+        mem = Memory()
+        mem.map(0x10000, PAGE_SIZE, readable=True, writable=True)
+        boundary = 0x10000 + PAGE_SIZE - 1
+        with pytest.raises(MemoryFault):
+            mem.write_u16(boundary, 0xBBAA)
+        assert mem.read_u8(boundary) == 0
+
+    def test_read_across_unreadable_second_page_faults_cleanly(self):
+        mem = Memory()
+        mem.map(0x10000, PAGE_SIZE, readable=True, writable=True)
+        boundary = 0x10000 + PAGE_SIZE - 1
+        with pytest.raises(MemoryFault) as err:
+            mem.read_u16(boundary)
+        assert err.value.address == boundary + 1
+
+    def test_wide_straddling_stores_are_atomic_too(self):
+        """The same audit applied to 32/64-bit stores: every page is
+        validated before any byte is written."""
+        mem, boundary = self._boundary_memory(False)
+        for width, writer in ((4, mem.write_u32), (8, mem.write_u64)):
+            start = 0x10000 + PAGE_SIZE - width + 1
+            before = mem.read_bytes(start, width - 1)
+            with pytest.raises(MemoryFault):
+                writer(start, (1 << (8 * width)) - 1)
+            assert mem.read_bytes(start, width - 1) == before
+
+    def test_fault_address_is_first_offending_byte(self):
+        mem, _ = self._boundary_memory(False)
+        start = 0x10000 + PAGE_SIZE - 4
+        with pytest.raises(MemoryFault) as err:
+            mem.write_u64(start, 0)
+        assert err.value.address == 0x10000 + PAGE_SIZE
