@@ -1,7 +1,7 @@
 """``python -m repro`` — the umbrella command-line interface.
 
-One front door for the seven tool CLIs, with the shared flags hoisted
-to the top level::
+One front door for the tool CLIs, with the shared flags hoisted to the
+top level::
 
     python -m repro [--jobs N] [--cache-dir PATH] [--seed N]
                     [--trace PATH] <command> [tool args...]
@@ -49,6 +49,7 @@ TOOLS = {
     "analyze": "analyze",
     "gadgets": "gadgets",
     "lint": "lint",
+    "service": "service",
 }
 
 
@@ -110,6 +111,9 @@ def tool_argv(args: argparse.Namespace) -> List[str]:
         if sub == "demo":
             add("--seed", args.seed)
             add("--out", args.trace)
+    elif args.command == "service":
+        if sub in ("run", "scale", "trace"):
+            add("--seed", args.seed)
     return rest
 
 

@@ -184,3 +184,52 @@ class IdTables:
             "equivalence_classes": len(ecns),
             "version": self.version,
         }
+
+
+class TableSnapshot:
+    """Byte-exact snapshot of an :class:`IdTables` window, for rollback.
+
+    Captures the raw Tary/Bary bytes (the whole tables by default, or a
+    ``tary_range``/``site_range`` window for a shard) together with the
+    bookkeeping that must stay consistent with them: the version, the
+    trusted ECN assignments and the ABA update counter.
+
+    ``rollback()`` restores everything byte-for-byte and bumps the
+    :class:`~repro.vm.memory.TableMemory` write-generation stamp by
+    hand, because the raw restore bypasses ``write_tary``/``write_bary``
+    — any branch ID the dispatch plane's fused check transactions
+    cached is stale after a rollback.
+
+    Used by the dynamic linker's :class:`LoadJournal` (whole-table
+    window) and by the table service's per-shard commit path
+    (shard-band window).
+    """
+
+    def __init__(self, tables: IdTables,
+                 tary_range: Optional[tuple] = None,
+                 site_range: Optional[tuple] = None) -> None:
+        memory = tables.memory
+        self.tables = tables
+        self.tary_range = tary_range or (0, memory.tary_size)
+        site_range = site_range or (0, memory.bary_entries)
+        self.bary_range = (bary_index(site_range[0]),
+                           bary_index(site_range[1]))
+        self.tary = bytes(memory.tary[self.tary_range[0]:
+                                      self.tary_range[1]])
+        self.bary = bytes(memory.bary[self.bary_range[0]:
+                                      self.bary_range[1]])
+        self.version = tables.version
+        self.tary_ecns = dict(tables.tary_ecns)
+        self.bary_ecns = dict(tables.bary_ecns)
+        self.updates_since_reset = tables.updates_since_reset
+
+    def rollback(self) -> None:
+        tables = self.tables
+        memory = tables.memory
+        memory.tary[self.tary_range[0]:self.tary_range[1]] = self.tary
+        memory.bary[self.bary_range[0]:self.bary_range[1]] = self.bary
+        memory.generation += 1
+        tables.version = self.version
+        tables.tary_ecns = dict(self.tary_ecns)
+        tables.bary_ecns = dict(self.bary_ecns)
+        tables.updates_since_reset = self.updates_since_reset

@@ -181,6 +181,21 @@ class UpdateLock:
     def held(self) -> bool:
         return self._held_by is not None
 
+    def owner(self) -> Optional[str]:
+        """Current owner name, or None when the lock is free."""
+        return self._held_by
+
+    def set_owner(self, owner: Optional[str]) -> None:
+        """Force ownership to a snapshotted value (journal rollback).
+
+        This is the *only* sanctioned way to write ownership from
+        outside the acquire/release protocol: a journal that snapshotted
+        ``owner()`` before a failed operation restores it here, so an
+        aborted update transaction cannot leave the lock wedged.  Any
+        other caller should be using :meth:`acquire_spin`/:meth:`release`.
+        """
+        self._held_by = owner
+
     def acquire_spin(self, owner: str) -> Generator[None, None, None]:
         waited = 0
         while self._held_by is not None:

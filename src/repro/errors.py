@@ -132,6 +132,22 @@ class TableIntegrityError(RuntimeError_):
         super().__init__(message)
 
 
+class ServiceBackpressure(RuntimeError_):
+    """Raised when the table service's update queue is at capacity.
+
+    The :class:`repro.service.coalescer.UpdateCoalescer` bounds its
+    pending-request queue; a submitter seeing this error must yield and
+    retry (cooperative backpressure) instead of growing the queue
+    without bound while commits fall behind.
+    """
+
+    def __init__(self, pending: int, limit: int) -> None:
+        self.pending = pending
+        self.limit = limit
+        super().__init__(
+            f"update queue full ({pending}/{limit} pending)")
+
+
 class InjectedFault(ReproError):
     """Raised by the fault-injection plane (:mod:`repro.faults`).
 

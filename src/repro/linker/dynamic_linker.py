@@ -39,7 +39,7 @@ from typing import Dict, List, Optional
 
 from repro.cfg.generator import Cfg, generate_cfg
 from repro.core.instrument import instrument_items
-from repro.core.tables import bary_index, tary_index
+from repro.core.tables import TableSnapshot, bary_index, tary_index
 from repro.core.transactions import UpdateTransaction
 from repro.errors import InjectedFault, LinkError, ReproError, \
     RuntimeError_
@@ -80,14 +80,8 @@ class LoadJournal:
         self.linker = linker
         self.phases: List[str] = []
         self.rolled_back = False
-        # ID tables, byte-exact.
-        self.tary = bytes(runtime.tables.tary)
-        self.bary = bytes(runtime.tables.bary)
-        tables = runtime.id_tables
-        self.version = tables.version
-        self.tary_ecns = dict(tables.tary_ecns)
-        self.bary_ecns = dict(tables.bary_ecns)
-        self.updates_since_reset = tables.updates_since_reset
+        # ID tables, byte-exact (raw bytes + version/ECN bookkeeping).
+        self.tables = TableSnapshot(runtime.id_tables)
         # Linker allocation state and registries.
         self.code_cursor = linker._code_cursor
         self.data_cursor = linker._data_cursor
@@ -98,7 +92,7 @@ class LoadJournal:
         self.merged_aux = linker._merged_aux
         # Runtime policy state and the GOT.
         self.cfg = runtime.cfg
-        self.lock_owner = runtime.update_lock._held_by
+        self.lock_owner = runtime.update_lock.owner()
         self.got = {slot: runtime.memory.host_read(slot, 8)
                     for slot in runtime.program.got_slots.values()}
 
@@ -113,24 +107,17 @@ class LoadJournal:
         linker = self.linker
         runtime = linker.runtime
         # Tables first: restoring the policy is what closes the
-        # security window; everything else is bookkeeping.
-        runtime.tables.tary[:] = self.tary
-        runtime.tables.bary[:] = self.bary
-        # The raw restore bypasses write_tary/write_bary, so bump the
-        # write-generation stamp by hand: any branch ID the dispatch
-        # plane's fused check transactions cached is now stale.
-        runtime.tables.generation += 1
-        tables = runtime.id_tables
-        tables.version = self.version
-        tables.tary_ecns = dict(self.tary_ecns)
-        tables.bary_ecns = dict(self.bary_ecns)
-        tables.updates_since_reset = self.updates_since_reset
+        # security window; everything else is bookkeeping.  The
+        # snapshot's raw restore also bumps the write-generation stamp,
+        # invalidating any fused-check branch IDs the dispatch plane
+        # cached.
+        self.tables.rollback()
         for slot, image in self.got.items():
             runtime.memory.host_write(slot, image)
         runtime.cfg = self.cfg
         # An update transaction aborted mid-flight still owns the
         # update lock; hand it back so later updates are not wedged.
-        runtime.update_lock._held_by = self.lock_owner
+        runtime.update_lock.set_owner(self.lock_owner)
         # Seal any code pages the aborted load mapped, and drop their
         # decoded-instruction cache entries.
         if linker._code_cursor > self.code_cursor:
@@ -172,6 +159,11 @@ class DynamicLinker:
         self._base_aux: AuxInfo = program.module.aux
         self._merged_aux: AuxInfo = program.module.aux
         self.last_journal: Optional[LoadJournal] = None
+        #: Update-transaction tasks queued on the scheduler but not yet
+        #: finished.  A new dlopen/dlclose drains these before taking
+        #: its own journal snapshot, so republishes are serialized (see
+        #: :meth:`_drain_pending_updates`).
+        self._inflight: List[GeneratorTask] = []
         runtime.dynamic_linker = self
 
     def register(self, name: str, raw: RawModule) -> None:
@@ -188,6 +180,7 @@ class DynamicLinker:
         raw = self.registry.get(name)
         if raw is None:
             return 0
+        self._drain_pending_updates()
 
         with OBS.tracer.span("linker.dlopen", library=name) as span:
             journal = LoadJournal(self)
@@ -233,6 +226,11 @@ class DynamicLinker:
         the symmetric extension.)
         """
         if handle not in self.loaded:
+            return -1
+        self._drain_pending_updates()
+        if handle not in self.loaded:
+            # The drained update was a concurrent dlclose of this very
+            # handle; nothing left to unload.
             return -1
         with OBS.tracer.span("linker.dlclose") as span:
             journal = LoadJournal(self)
@@ -447,6 +445,33 @@ class DynamicLinker:
         finally:
             span.end(completed=transaction.completed)
 
+    def _drain_pending_updates(self) -> None:
+        """Complete any in-flight update transaction before a new load.
+
+        In scheduled mode an update transaction runs as a scheduler
+        task concurrent with application threads.  If a second thread
+        reaches dlopen/dlclose while one is still in flight, the two
+        republishes would race: both journals would snapshot
+        mid-update table state, both would regenerate a CFG from a
+        module set the other is about to change, and the last update
+        to run would silently win — leaving ``runtime.cfg`` and the ID
+        tables describing different module sets (and, after a rolled
+        back load, possibly a wedged update lock restored from a stale
+        ownership snapshot).  Draining the pending update first makes
+        republishes strictly serial: the drain happens inside the
+        caller's (atomic) syscall step, so to every application thread
+        it is indistinguishable from the update having won the race.
+        """
+        while self._inflight:
+            task = self._inflight.pop(0)
+            if not task.alive:
+                continue
+            try:
+                while True:
+                    next(task.generator)
+            except StopIteration:
+                task.alive = False
+
     def _run_update(self, transaction: UpdateTransaction,
                     cpu: Optional[CPU], result: int,
                     after=None, journal: Optional[LoadJournal] = None,
@@ -490,7 +515,9 @@ class DynamicLinker:
                     cpu.regs[0] = result  # RAX: the syscall's return value
                 task.waiting = False
 
-        scheduler.add(GeneratorTask(update_then_wake(), name="dlupdate"))
+        task_obj = GeneratorTask(update_then_wake(), name="dlupdate")
+        scheduler.add(task_obj)
+        self._inflight.append(task_obj)
 
     @staticmethod
     def _strip(aux: AuxInfo) -> AuxInfo:

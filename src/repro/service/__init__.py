@@ -1,0 +1,43 @@
+"""``repro.service`` — the multi-tenant CFI table service.
+
+The paper's runtime serves exactly one process: a single Bary/Tary
+table pair, one global update lock, one dlopen at a time.  This
+subsystem turns that into a *table service* shared by many concurrent
+tenants:
+
+* :mod:`repro.service.shards` — :class:`ShardedIdTables`, the Bary/Tary
+  tables partitioned by address range into shards, each with its own
+  version counter and update lock, so updates to disjoint shards never
+  serialize against each other;
+* :mod:`repro.service.coalescer` — :class:`UpdateCoalescer`, a bounded
+  queue of dlopen/dlclose write-sets that commits **one** batched
+  update transaction per shard per round, with backpressure and
+  snapshot rollback on partial failure;
+* :mod:`repro.service.loop` — :class:`ServiceLoop`, a cooperative
+  (seeded, deterministic, thread-free) admission loop that runs many
+  tenants — each modeled on a :mod:`repro.infra` instance — issuing
+  dlopen/dlclose churn and Fig.-4 check-transaction load against the
+  shared shards.
+
+``python -m repro service`` and ``benchmarks/bench_service.py`` drive
+the loop at 10/100/1000 tenants and compare the sharded/batched path
+against the paper's global-lock baseline.  See ``docs/SERVICE.md``.
+"""
+
+from repro.service.coalescer import (  # noqa: F401
+    UpdateCoalescer,
+    UpdateRequest,
+)
+from repro.service.loop import (  # noqa: F401
+    ServiceLoop,
+    ServiceReport,
+    TenantSpec,
+    WritesetTemplate,
+)
+from repro.service.shards import ShardedIdTables, TableShard  # noqa: F401
+
+__all__ = [
+    "ShardedIdTables", "TableShard",
+    "UpdateCoalescer", "UpdateRequest",
+    "ServiceLoop", "ServiceReport", "TenantSpec", "WritesetTemplate",
+]

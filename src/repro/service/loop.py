@@ -1,0 +1,400 @@
+"""The multi-tenant admission loop: N tenants, shared sharded tables.
+
+:class:`ServiceLoop` is the subsystem's top level.  It models the
+paper's runtime as a *service*: many tenants — each standing in for one
+:mod:`repro.infra` registry instance churning dlopen/dlclose — share
+one :class:`~repro.vm.memory.TableMemory` behind a
+:class:`~repro.service.shards.ShardedIdTables`, and every table
+mutation goes through one :class:`~repro.service.coalescer
+.UpdateCoalescer`.
+
+Everything runs on the seeded cooperative
+:class:`~repro.vm.scheduler.Scheduler` — no threads, one atomic action
+per step — so a run is a pure function of ``(seed, parameters)``:
+latencies, retry counts, shard versions and the coalescer trace are all
+replayable bit-for-bit.
+
+Each tenant task loops ``churn`` times:
+
+1. *think* for a seeded number of steps,
+2. submit a **dlopen** write-set (install its band's ECNs), yielding
+   under :class:`~repro.errors.ServiceBackpressure` until accepted,
+3. wait for the batched commit, then issue ``checks_per_gap`` Fig.-4
+   check transactions (:func:`~repro.core.transactions.tx_check_gen`)
+   against its shard — the TxCheck retry load of the benchmark,
+4. submit the matching **dlclose** (clear the band) and wait again.
+
+``mode="global"`` collapses the service to the paper's baseline: one
+shard (a single global version counter and update lock) and one
+transaction per request, no batching — the comparison leg for
+``bench_service.py``.
+
+:func:`ServiceLoop.replay_serial` is the correctness oracle: it
+re-applies the committed request log one-transaction-per-request on a
+fresh identical geometry and returns the version-independent decoded
+state, which must equal the live tables' — batching and sharding may
+change *when* updates land, never *what* they install.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.core.transactions import (
+    CheckResult,
+    UpdateTransaction,
+    tx_check_gen,
+)
+from repro.errors import (
+    RuntimeError_,
+    ServiceBackpressure,
+    TableIntegrityError,
+)
+from repro.faults.plane import NULL_PLANE, FaultPlane
+from repro.obs import OBS
+from repro.service.coalescer import COMMITTED, UpdateCoalescer, UpdateRequest
+from repro.service.shards import ShardedIdTables
+from repro.vm.memory import TableMemory
+from repro.vm.scheduler import Scheduler
+
+
+@dataclass(frozen=True)
+class WritesetTemplate:
+    """The shape of one tenant's module: entries relative to its band.
+
+    ``tary`` lists ``(byte_offset, class_index)`` target entries,
+    ``bary`` lists ``(site_offset, class_index)`` branch sites, and
+    ``checks`` pairs ``(site_offset, tary_offset)`` that the CFG
+    permits — the tenant's check-transaction load draws from these.
+    Offsets are relative to the tenant's placed band; class indices are
+    relative to its ECN base, so the same template instantiates at any
+    placement.
+    """
+
+    tary: Tuple[Tuple[int, int], ...]
+    bary: Tuple[Tuple[int, int], ...]
+    checks: Tuple[Tuple[int, int], ...]
+    n_classes: int
+
+    @classmethod
+    def default(cls) -> "WritesetTemplate":
+        """A small module: two equivalence classes, four functions
+        reachable from four call sites (two sites per class)."""
+        return cls(
+            tary=((0, 0), (4, 0), (8, 1), (12, 1)),
+            bary=((0, 0), (1, 0), (2, 1), (3, 1)),
+            checks=((0, 0), (0, 4), (1, 0), (2, 8), (3, 12)),
+            n_classes=2,
+        )
+
+    @property
+    def tary_span(self) -> int:
+        """Bytes of Tary band this template needs."""
+        return max(offset for offset, _ in self.tary) + 4
+
+    @property
+    def site_span(self) -> int:
+        """Bary sites this template needs."""
+        return max(offset for offset, _ in self.bary) + 1
+
+    def instantiate(self, tary_base: int, site_base: int, ecn_base: int,
+                    ) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """Concrete ``(set_tary, set_bary)`` write-sets at a placement."""
+        set_tary = {tary_base + offset: ecn_base + cls
+                    for offset, cls in self.tary}
+        set_bary = {site_base + offset: ecn_base + cls
+                    for offset, cls in self.bary}
+        return set_tary, set_bary
+
+    def check_pairs(self, tary_base: int, site_base: int,
+                    ) -> List[Tuple[int, int]]:
+        """Permitted ``(site, target)`` pairs at a placement."""
+        return [(site_base + site, tary_base + target)
+                for site, target in self.checks]
+
+
+@dataclass
+class TenantSpec:
+    """One admitted tenant: its placement inside the sharded tables."""
+
+    name: str
+    slot: int
+    shard: int
+    tary_base: int
+    site_base: int
+    ecn_base: int
+    template: WritesetTemplate
+
+    def writes(self) -> Tuple[Dict[int, int], Dict[int, int]]:
+        return self.template.instantiate(
+            self.tary_base, self.site_base, self.ecn_base)
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate outcome of one :meth:`ServiceLoop.run`."""
+
+    tenants: int
+    shards: int
+    mode: str
+    seed: int
+    churn: int
+    ticks: int = 0
+    committed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    rounds: int = 0
+    transactions: int = 0
+    coalescing_factor: float = 0.0
+    backpressure_waits: int = 0
+    checks: int = 0
+    checks_allowed: int = 0
+    check_retries: int = 0
+    escalations: int = 0
+    latency_mean: float = 0.0
+    latency_p50: int = 0
+    latency_p99: int = 0
+    shard_versions: List[int] = field(default_factory=list)
+    latencies: List[int] = field(default_factory=list)
+
+    @property
+    def retry_rate(self) -> float:
+        """TxCheck retries per check transaction."""
+        return self.check_retries / self.checks if self.checks else 0.0
+
+    def to_dict(self) -> dict:
+        out = {key: value for key, value in self.__dict__.items()
+               if key != "latencies"}
+        out["retry_rate"] = self.retry_rate
+        return out
+
+
+def _percentile(values: List[int], fraction: float) -> int:
+    """Nearest-rank percentile of a sorted copy (0 for empty input)."""
+    if not values:
+        return 0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[rank]
+
+
+class ServiceLoop:
+    """Cooperative multi-tenant admission loop over sharded ID tables.
+
+    ``mode="sharded"`` is the subsystem under test; ``mode="global"``
+    forces the paper's baseline (one shard, one transaction per
+    request, no batching window) for like-for-like latency comparison.
+    Both run the *same* tenant tasks on the *same* seeded scheduler.
+    """
+
+    def __init__(self, tenants: int = 10, shards: int = 8,
+                 seed: int = 0, churn: int = 2, think: int = 4,
+                 checks_per_gap: int = 4, window: int = 4,
+                 batch: int = 64, max_pending: Optional[int] = None,
+                 max_round_requests: Optional[int] = None,
+                 mode: str = "sharded",
+                 template: Optional[WritesetTemplate] = None,
+                 fault_plane: FaultPlane = NULL_PLANE,
+                 bary_entries: int = 65536,
+                 max_ticks: Optional[int] = None) -> None:
+        if mode not in ("sharded", "global"):
+            raise RuntimeError_(f"unknown service mode {mode!r}")
+        if mode == "global":
+            shards = 1
+            window = 0
+            max_round_requests = 1
+        self.mode = mode
+        self.seed = seed
+        self.churn = churn
+        self.think = max(1, think)
+        self.checks_per_gap = checks_per_gap
+        self.n_tenants = tenants
+        self.template = template or WritesetTemplate.default()
+        self.memory = TableMemory(bary_entries=bary_entries)
+        self.sharded = ShardedIdTables(self.memory, shards=shards)
+        self.coalescer = UpdateCoalescer(
+            self.sharded,
+            max_pending=max_pending or max(16, 2 * tenants),
+            batch=batch, window=window,
+            max_round_requests=max_round_requests,
+            fault_plane=fault_plane)
+        self.specs = [self._place_tenant(slot) for slot in range(tenants)]
+        self.max_ticks = max_ticks or self._estimate_ticks()
+        self.counters = {"backpressure_waits": 0, "checks": 0,
+                         "checks_allowed": 0, "check_retries": 0,
+                         "escalations": 0}
+        self.scheduler = Scheduler(seed=seed)
+        self.report: Optional[ServiceReport] = None
+
+    def _place_tenant(self, slot: int) -> TenantSpec:
+        shard, tary_base, site_base = self.sharded.place(
+            slot, self.template.tary_span, self.template.site_span)
+        # ECNs need only be disjoint *within* a shard (cross-shard IDs
+        # never compare equal), so the 14-bit budget is spent per shard:
+        # tenants stacked in the same shard get successive class blocks.
+        level = slot // len(self.sharded)
+        ecn_base = 1 + level * self.template.n_classes
+        return TenantSpec(
+            name=f"tenant{slot}", slot=slot, shard=shard,
+            tary_base=tary_base, site_base=site_base,
+            ecn_base=ecn_base, template=self.template)
+
+    def _estimate_ticks(self) -> int:
+        # Worst case is the global baseline: every request serializes a
+        # full-table rewrite.  Generous headroom; a genuine livelock
+        # still terminates via the scheduler's max_ticks VMError.
+        per_round = (self.think + self.checks_per_gap + 20) * 4
+        per_txn = 8 * (len(self.template.tary) + len(self.template.bary))
+        work = self.n_tenants * self.churn * (per_round + 2 * per_txn
+                                              + per_txn * self.n_tenants)
+        return max(200_000, 20 * work)
+
+    # -- tenant task -------------------------------------------------------
+
+    def _submit(self, request: UpdateRequest,
+                ) -> Generator[None, None, None]:
+        """Submit with cooperative backpressure: yield-and-retry."""
+        while True:
+            try:
+                self.coalescer.submit(request, tick=self.scheduler.ticks)
+                return
+            except ServiceBackpressure:
+                self.counters["backpressure_waits"] += 1
+                yield
+
+    def _tenant(self, spec: TenantSpec, rng_seed: int,
+                ) -> Generator[None, None, None]:
+        rng = random.Random(rng_seed)
+        shard = self.sharded.shards[spec.shard]
+        set_tary, set_bary = spec.writes()
+        pairs = spec.template.check_pairs(spec.tary_base, spec.site_base)
+        seq = 0
+        for _ in range(self.churn):
+            for _ in range(1 + rng.randrange(self.think)):
+                yield
+            request = UpdateRequest(
+                tenant=spec.name, kind="dlopen", seq=seq,
+                set_tary=set_tary, set_bary=set_bary)
+            seq += 1
+            yield from self._submit(request)
+            while not request.done:
+                yield
+            if request.status != COMMITTED:
+                continue  # rolled back: nothing installed, nothing to close
+            for _ in range(self.checks_per_gap):
+                site, target = pairs[rng.randrange(len(pairs))]
+                try:
+                    result, retries = yield from tx_check_gen(
+                        shard.tables, site, target)
+                except TableIntegrityError:
+                    self.counters["escalations"] += 1
+                else:
+                    self.counters["checks"] += 1
+                    self.counters["check_retries"] += retries
+                    if result == CheckResult.ALLOWED:
+                        self.counters["checks_allowed"] += 1
+                yield
+            close = UpdateRequest(
+                tenant=spec.name, kind="dlclose", seq=seq,
+                clear_tary=tuple(set_tary), clear_bary=tuple(set_bary))
+            seq += 1
+            yield from self._submit(close)
+            while not close.done:
+                yield
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self) -> ServiceReport:
+        span = OBS.tracer.begin("service.run", mode=self.mode,
+                                tenants=self.n_tenants,
+                                shards=len(self.sharded), seed=self.seed)
+        tenant_tasks = []
+        for spec in self.specs:
+            # Composed integer seed (no hash()): deterministic across
+            # processes and PYTHONHASHSEED values.
+            rng_seed = self.seed * 0x9E3779B1 + 0x85EBCA6B * (spec.slot + 1)
+            task = self.scheduler.add_generator(
+                self._tenant(spec, rng_seed), name=f"tenant/{spec.name}")
+            tenant_tasks.append(task)
+        self.scheduler.add_generator(
+            self.coalescer.drain(
+                active=lambda: any(t.alive for t in tenant_tasks),
+                clock=lambda: self.scheduler.ticks),
+            name="coalescer")
+        outcome = self.scheduler.run(max_ticks=self.max_ticks)
+        if outcome.fault is not None:
+            raise outcome.fault
+        report = self._build_report(outcome.ticks)
+        span.end(ticks=report.ticks, committed=report.committed,
+                 coalescing=report.coalescing_factor,
+                 escalations=report.escalations)
+        self.report = report
+        return report
+
+    def _build_report(self, ticks: int) -> ServiceReport:
+        coalescer = self.coalescer
+        latencies = [request.latency_ticks for request in coalescer.log
+                     if request.status == COMMITTED
+                     and request.latency_ticks >= 0]
+        counters = self.counters
+        report = ServiceReport(
+            tenants=self.n_tenants, shards=len(self.sharded),
+            mode=self.mode, seed=self.seed, churn=self.churn,
+            ticks=ticks,
+            committed=coalescer.committed, failed=coalescer.failed,
+            rejected=coalescer.rejected, rounds=coalescer.rounds,
+            transactions=coalescer.transactions,
+            coalescing_factor=coalescer.coalescing_factor,
+            backpressure_waits=counters["backpressure_waits"],
+            checks=counters["checks"],
+            checks_allowed=counters["checks_allowed"],
+            check_retries=counters["check_retries"],
+            escalations=counters["escalations"],
+            latency_mean=(sum(latencies) / len(latencies)
+                          if latencies else 0.0),
+            latency_p50=_percentile(latencies, 0.50),
+            latency_p99=_percentile(latencies, 0.99),
+            shard_versions=self.sharded.versions(),
+            latencies=latencies)
+        return report
+
+    # -- serial oracle -----------------------------------------------------
+
+    def replay_serial(self) -> Dict[str, Dict[int, int]]:
+        """Replay the committed log one-transaction-per-request, serially.
+
+        Builds a fresh :class:`ShardedIdTables` with identical geometry
+        and applies every *committed* request in submission order, each
+        as its own fully-drained update transaction — the unbatched,
+        unconcurrent execution.  Returns its version-independent
+        decoded state; equality with ``self.sharded.decoded_state()``
+        is the bit-identical-observables acceptance check.
+        """
+        replay = ShardedIdTables(
+            TableMemory(bary_entries=self.memory.bary_entries),
+            shards=len(self.sharded))
+        for request in self.coalescer.log:
+            if request.status != COMMITTED:
+                continue
+            deltas = replay.split_writes(
+                request.set_tary, request.clear_tary,
+                request.set_bary, request.clear_bary)
+            for index in sorted(deltas):
+                shard = replay.shards[index]
+                delta = deltas[index]
+                tary = dict(shard.tables.tary_ecns)
+                bary = dict(shard.tables.bary_ecns)
+                for address in delta.clear_tary:
+                    tary.pop(address, None)
+                for site in delta.clear_bary:
+                    bary.pop(site, None)
+                tary.update(delta.set_tary)
+                bary.update(delta.set_bary)
+                transaction = UpdateTransaction(
+                    shard.tables, shard.lock, new_tary=tary,
+                    new_bary=bary, owner="serial-replay")
+                for _ in transaction.run():
+                    pass
+        return replay.decoded_state()

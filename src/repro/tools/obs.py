@@ -67,6 +67,10 @@ SPAN_CATALOG = (
      "seeded multi-threaded run"),
     ("pool.job", "job attempt status", "one pool attempt (parent side)"),
     ("experiments.stm", "algorithm iterations", "STM micro-benchmark"),
+    ("service.run", "mode tenants shards seed ticks committed",
+     "one multi-tenant ServiceLoop run"),
+    ("service.round", "round requests shards failed",
+     "one coalescer commit round"),
 )
 
 #: every metric the instrumentation can emit
@@ -102,6 +106,16 @@ METRIC_CATALOG = (
     ("histogram", "pool.job_seconds", "job wall time (wall clock only)"),
     ("histogram", "pool.backoff_seconds",
      "retry backoff sleeps (wall clock only)"),
+    ("counter", "service.shard.commits", "per-shard batched commits"),
+    ("counter", "service.shard.rollbacks", "shard snapshot rollbacks"),
+    ("counter", "service.coalesce.requests", "update requests accepted"),
+    ("counter", "service.coalesce.batched", "requests riding batches"),
+    ("counter", "service.coalesce.rounds", "coalescer commit rounds"),
+    ("counter", "service.coalesce.backpressure", "submissions rejected"),
+    ("histogram", "service.update.latency_ticks",
+     "request submit->commit latency (scheduler ticks)"),
+    ("histogram", "service.coalesce.round_requests",
+     "requests per commit round"),
 )
 
 

@@ -116,6 +116,11 @@ class Scheduler:
         self._rng = random.Random(seed)
         self.tasks: List[Task] = []
         self.weights = dict(weights) if weights else None
+        #: Live tick counter, updated as :meth:`run` executes so tasks
+        #: can read a logical clock mid-run (the table service stamps
+        #: request submit/complete times with it).  Deterministic: it
+        #: advances exactly once per scheduled step.
+        self.ticks = 0
 
     def _pick(self, live: List[Task]) -> Task:
         if len(live) == 1:
@@ -146,8 +151,8 @@ class Scheduler:
 
     def run(self, max_ticks: int = 10_000_000) -> Outcome:
         outcome = Outcome()
-        ticks = 0
-        while ticks < max_ticks:
+        self.ticks = 0
+        while self.ticks < max_ticks:
             live = [t for t in self.tasks if t.alive]
             if not live:
                 break
@@ -165,8 +170,8 @@ class Scheduler:
                 outcome.fault = fault
                 outcome.faulting_task = task.name
                 break
-            ticks += 1
+            self.ticks += 1
         else:
             raise VMError(f"scheduler exceeded {max_ticks} ticks")
-        outcome.ticks = ticks
+        outcome.ticks = self.ticks
         return outcome

@@ -54,6 +54,13 @@ class TestFlagForwarding:
         rest = _argv_for(["--jobs", "4", "cc", "prog.c", "--run"])
         assert rest == ["prog.c", "--run"]
 
+    def test_service_subcommands_get_seed(self):
+        rest = _argv_for(["--seed", "9", "service", "run",
+                          "--tenants", "10"])
+        assert rest == ["run", "--tenants", "10", "--seed", "9"]
+        rest = _argv_for(["--seed", "9", "service", "scale"])
+        assert rest == ["scale", "--seed", "9"]
+
     def test_every_tool_module_resolves(self):
         import importlib
         for name in TOOLS.values():
