@@ -112,7 +112,7 @@ def tool_argv(args: argparse.Namespace) -> List[str]:
             add("--seed", args.seed)
             add("--out", args.trace)
     elif args.command == "service":
-        if sub in ("run", "scale", "trace"):
+        if sub in ("run", "scale", "trace", "chaos"):
             add("--seed", args.seed)
     return rest
 

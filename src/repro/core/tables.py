@@ -168,6 +168,72 @@ class IdTables:
             self.memory.write_bary(bary_index(site), want)
         return len(findings["tary"]) + len(findings["bary"])
 
+    def sweep(self, tary_range: Optional[tuple] = None,
+              site_range: Optional[tuple] = None) -> Dict[str, int]:
+        """Full-band sweep: repair trusted entries **and** zero strays.
+
+        :meth:`scrub` can only fix words the trusted assignment knows
+        about; a fault that forged a plausible ID into an *untracked*
+        slot (a stray) is invisible to it.  The sweep walks every
+        4-aligned word of the given Tary byte range and Bary site range
+        and forces each one to its only legitimate value: the packed
+        trusted ID for tracked entries, ``INVALID_ID`` for everything
+        else.  After a sweep the band is byte-identical to what a fresh
+        rebuild from the trusted assignment would produce — the
+        parity-checked scrub pass shard recovery runs before a
+        quarantined shard rejoins service.
+
+        Returns ``{"repaired": tracked words rewritten, "strays":
+        untracked words zeroed}``.  Trusted-runtime only, tables
+        quiescent (same contract as :meth:`scrub`).
+        """
+        memory = self.memory
+        tary_lo, tary_hi = tary_range or (0, memory.tary_size)
+        site_lo, site_hi = site_range or (0, memory.bary_entries)
+        tary_lo = (tary_lo + 3) & ~3
+        repaired = 0
+        # Pass 1: every tracked entry holds its packed trusted ID.
+        for address, ecn in self.tary_ecns.items():
+            if tary_lo <= address < tary_hi:
+                want = pack_id(ecn, self.version)
+                if memory.read_tary(address) != want:
+                    memory.write_tary(address, want)
+                    repaired += 1
+        for site, ecn in self.bary_ecns.items():
+            if site_lo <= site < site_hi:
+                want = pack_id(ecn, self.version)
+                if memory.read_bary(bary_index(site)) != want:
+                    memory.write_bary(bary_index(site), want)
+                    repaired += 1
+        # Pass 2: every *untracked* word is INVALID_ID.  The bands are
+        # sparse (almost all zeros), so skip all-zero chunks at C speed
+        # and word-walk only the dirty ones.
+        strays = self._zero_strays(
+            memory.tary, tary_lo, tary_hi & ~3,
+            tracked=self.tary_ecns, write=memory.write_tary)
+        strays += self._zero_strays(
+            memory.bary, bary_index(site_lo), bary_index(site_hi),
+            tracked={bary_index(site) for site in self.bary_ecns},
+            write=memory.write_bary)
+        return {"repaired": repaired, "strays": strays}
+
+    @staticmethod
+    def _zero_strays(buf: bytearray, lo: int, hi: int, tracked,
+                     write) -> int:
+        zeroed = 0
+        chunk = 4096
+        for base in range(lo, hi, chunk):
+            end = min(hi, base + chunk)
+            if buf[base:end].count(0) == end - base:
+                continue
+            for offset in range(base, end, 4):
+                if buf[offset:offset + 4] == b"\x00\x00\x00\x00" or \
+                        offset in tracked:
+                    continue
+                write(offset, INVALID_ID)
+                zeroed += 1
+        return zeroed
+
     # -- bookkeeping --------------------------------------------------------
 
     def clear_targets(self, addresses: Iterable[int]) -> None:

@@ -4,13 +4,35 @@ Every error raised by this package derives from :class:`ReproError`, so
 callers can catch one base class at the API boundary.  Sub-hierarchies
 mirror the subsystems: the TinyC frontend, the virtual machine, the MCFI
 runtime, and the verifier.
+
+Every class carries a stable, kebab-case :attr:`~ReproError.code`
+(machine-matchable across refactors that rename the Python class) and a
+:meth:`~ReproError.to_dict` payload in the same shape the result-store
+records use, so an error can land in a JSONL trace or a service
+response without per-call-site marshalling.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the ``repro`` package."""
+    """Base class for all errors raised by the ``repro`` package.
+
+    ``code`` is the stable wire identifier; subclasses override it and
+    extend :meth:`to_dict` with their structured fields.
+    """
+
+    code = "repro-error"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSONL-friendly payload: stable code + class name + message."""
+        return {
+            "code": self.code,
+            "type": type(self).__name__,
+            "message": str(self),
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -19,6 +41,8 @@ class ReproError(Exception):
 
 class TinyCError(ReproError):
     """Base class for TinyC frontend errors."""
+
+    code = "tinyc"
 
     def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
         self.line = line
@@ -31,9 +55,13 @@ class TinyCError(ReproError):
 class LexError(TinyCError):
     """Raised when the lexer encounters an invalid character or literal."""
 
+    code = "tinyc-lex"
+
 
 class ParseError(TinyCError):
     """Raised when the parser encounters a syntax error."""
+
+    code = "tinyc-parse"
 
 
 class TypeError_(TinyCError):
@@ -41,6 +69,8 @@ class TypeError_(TinyCError):
 
     Named with a trailing underscore to avoid shadowing the builtin.
     """
+
+    code = "tinyc-type"
 
 
 # ---------------------------------------------------------------------------
@@ -50,13 +80,19 @@ class TypeError_(TinyCError):
 class CodegenError(ReproError):
     """Raised when lowering or code generation cannot proceed."""
 
+    code = "codegen"
+
 
 class AssemblerError(ReproError):
     """Raised for unresolved labels, bad alignment, or operand overflow."""
 
+    code = "assembler"
+
 
 class EncodingError(ReproError):
     """Raised when an instruction cannot be encoded or decoded."""
+
+    code = "encoding"
 
 
 # ---------------------------------------------------------------------------
@@ -66,9 +102,13 @@ class EncodingError(ReproError):
 class VMError(ReproError):
     """Base class for virtual machine faults."""
 
+    code = "vm"
+
 
 class MemoryFault(VMError):
     """Raised for an access to unmapped memory or a protection violation."""
+
+    code = "memory-fault"
 
     def __init__(self, address: int, kind: str, message: str = "") -> None:
         self.address = address
@@ -76,9 +116,16 @@ class MemoryFault(VMError):
         detail = f" ({message})" if message else ""
         super().__init__(f"memory fault: {kind} at {address:#x}{detail}")
 
+    def to_dict(self) -> Dict[str, Any]:
+        out = super().to_dict()
+        out.update(address=self.address, kind=self.kind)
+        return out
+
 
 class InvalidInstruction(VMError):
     """Raised when the CPU fetches bytes that do not decode."""
+
+    code = "invalid-instruction"
 
 
 class CfiViolation(VMError):
@@ -87,6 +134,8 @@ class CfiViolation(VMError):
     The ``hlt`` at the end of a check transaction maps to this exception:
     an indirect branch attempted a transfer not permitted by the CFG.
     """
+
+    code = "cfi-violation"
 
     def __init__(self, branch_address: int, target_address: int,
                  reason: str) -> None:
@@ -97,9 +146,17 @@ class CfiViolation(VMError):
             f"CFI violation: branch at {branch_address:#x} -> "
             f"{target_address:#x} ({reason})")
 
+    def to_dict(self) -> Dict[str, Any]:
+        out = super().to_dict()
+        out.update(branch_address=self.branch_address,
+                   target_address=self.target_address, reason=self.reason)
+        return out
+
 
 class SandboxViolation(VMError):
     """Raised when code attempts to escape the data sandbox."""
+
+    code = "sandbox-violation"
 
 
 # ---------------------------------------------------------------------------
@@ -109,9 +166,13 @@ class SandboxViolation(VMError):
 class RuntimeError_(ReproError):
     """Base class for MCFI runtime errors (loading, syscalls, W^X)."""
 
+    code = "runtime"
+
 
 class WxViolation(RuntimeError_):
     """Raised when a mapping would be both writable and executable."""
+
+    code = "wx-violation"
 
 
 class TableIntegrityError(RuntimeError_):
@@ -125,11 +186,18 @@ class TableIntegrityError(RuntimeError_):
     quarantines rather than risking a forged edge.
     """
 
+    code = "table-integrity"
+
     def __init__(self, message: str, index: int | None = None,
                  retries: int | None = None) -> None:
         self.index = index
         self.retries = retries
         super().__init__(message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = super().to_dict()
+        out.update(index=self.index, retries=self.retries)
+        return out
 
 
 class ServiceBackpressure(RuntimeError_):
@@ -141,11 +209,70 @@ class ServiceBackpressure(RuntimeError_):
     without bound while commits fall behind.
     """
 
+    code = "service-backpressure"
+
     def __init__(self, pending: int, limit: int) -> None:
         self.pending = pending
         self.limit = limit
         super().__init__(
             f"update queue full ({pending}/{limit} pending)")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = super().to_dict()
+        out.update(pending=self.pending, limit=self.limit)
+        return out
+
+
+class ShardQuarantined(RuntimeError_):
+    """Raised when a request targets a quarantined table shard.
+
+    The shard's health breaker is open: its tables failed an integrity
+    audit or rolled back too many rounds, so it is fenced (generation
+    stamp bumped, fused dispatch entries invalid) and serves **no
+    updates** until recovery rebuilds and re-verifies its bands.  The
+    coalescer parks such requests rather than raising in the common
+    path; this error is the API-boundary surface for direct submitters.
+    """
+
+    code = "shard-quarantined"
+
+    def __init__(self, shard: int, reason: str = "") -> None:
+        self.shard = shard
+        self.reason = reason
+        suffix = f" ({reason})" if reason else ""
+        super().__init__(f"shard {shard} is quarantined{suffix}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = super().to_dict()
+        out.update(shard=self.shard, reason=self.reason)
+        return out
+
+
+class DeadlineExceeded(RuntimeError_):
+    """Raised when a request's logical-clock deadline budget lapses.
+
+    Deadlines are scheduler ticks (deterministic, never wall time); a
+    request still queued or parked past its ``deadline_tick`` fails
+    with this error instead of waiting out a stalled shard forever.
+    """
+
+    code = "deadline-exceeded"
+
+    def __init__(self, request_id: str, deadline_tick: int,
+                 now_tick: int) -> None:
+        self.request_id = request_id
+        self.deadline_tick = deadline_tick
+        self.now_tick = now_tick
+        super().__init__(
+            f"request {request_id} missed deadline tick "
+            f"{deadline_tick} (now {now_tick})")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = super().to_dict()
+        out.update(request_id=self.request_id,
+                   deadline_tick=self.deadline_tick,
+                   now_tick=self.now_tick)
+        return out
 
 
 class InjectedFault(ReproError):
@@ -156,18 +283,30 @@ class InjectedFault(ReproError):
     unless a :class:`repro.faults.plane.FaultPlane` armed the point.
     """
 
+    code = "injected-fault"
+
     def __init__(self, point: str, detail: str = "") -> None:
         self.point = point
+        self.detail = detail
         suffix = f": {detail}" if detail else ""
         super().__init__(f"injected fault at {point!r}{suffix}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = super().to_dict()
+        out.update(point=self.point, detail=self.detail)
+        return out
 
 
 class LinkError(ReproError):
     """Raised by the static or dynamic linker (e.g. unresolved symbols)."""
 
+    code = "link"
+
 
 class VerificationError(ReproError):
     """Raised when the modular verifier rejects a module."""
+
+    code = "verification"
 
     def __init__(self, message: str, address: int | None = None) -> None:
         self.address = address
@@ -178,3 +317,5 @@ class VerificationError(ReproError):
 
 class CfgGenerationError(ReproError):
     """Raised when CFG generation fails (e.g. unknown symbol types)."""
+
+    code = "cfg-generation"

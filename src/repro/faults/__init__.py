@@ -42,6 +42,10 @@ from repro.faults.injectors import (
     version_churn_injector,
 )
 from repro.faults.plane import NULL_PLANE, FaultEvent, FaultPlane
+from repro.faults.service_injectors import (
+    shard_bit_flip_storm,
+    version_gap_storm,
+)
 
 __all__ = [
     "FaultEvent",
@@ -59,8 +63,10 @@ __all__ = [
     "run_fault_campaign",
     "run_load_scenario",
     "run_table_scenario",
+    "shard_bit_flip_storm",
     "stale_version_injector",
     "table_scrubber",
     "version_churn_injector",
+    "version_gap_storm",
     "write_survival_report",
 ]

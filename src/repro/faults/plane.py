@@ -20,6 +20,12 @@ Fault points currently instrumented::
     dlopen.got         between the barrier and the GOT rewrites
     dlopen.seal        after the update, before control returns
     pool.worker        inside a worker process, before the job body
+    service.commit         torn batch: drop a shard's whole round
+    service.commit.step    torn batch: fail one transaction step
+    service.request.poison tenant submits a malformed dlopen write-set
+    service.tenant.crash   tenant dies after its dlopen commits
+    service.fault.bitflip  storm task flips a bit in a live shard word
+    service.fault.stale    storm task rewinds a live entry's version
 
 Every firing is recorded as a :class:`FaultEvent` so reports can state
 exactly which faults were exercised (no silent no-op campaigns).

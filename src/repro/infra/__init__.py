@@ -13,6 +13,8 @@ Quickstart (see ``docs/INFRA.md``)::
     python -m repro.tools.infra report --cache-dir .cache/infra
 """
 
+from repro.infra.breaker import (CLOSED, HALF_OPEN, OPEN,
+                                 CircuitBreaker)
 from repro.infra.cache import (ArtifactCache, CacheStats, open_cache,
                                source_digest)
 from repro.infra.campaign import (build_modules, build_program, configure,
@@ -28,8 +30,10 @@ from repro.infra.results import (ResultStore, load_records, regenerate,
 from repro.infra.targets import TARGETS, Target, all_targets, target
 
 __all__ = [
-    "ARCHS", "ArtifactCache", "CacheStats", "DEFAULT_INSTANCES",
-    "INSTANCES", "Instance", "Job", "JobResult", "PARALLEL_ARTIFACTS",
+    "ARCHS", "ArtifactCache", "CLOSED", "CacheStats", "CircuitBreaker",
+    "DEFAULT_INSTANCES", "HALF_OPEN",
+    "INSTANCES", "Instance", "Job", "JobResult", "OPEN",
+    "PARALLEL_ARTIFACTS",
     "ResultStore", "TARGETS", "Target", "WorkerPool", "all_targets",
     "build_modules", "build_program", "configure", "default_cache",
     "expand", "instance", "load_records", "open_cache",

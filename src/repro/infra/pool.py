@@ -19,7 +19,12 @@ orchestrator down with it.  The pool gives each job
   consecutive failures within one ``Job.group``, remaining jobs in that
   group fail fast with ``error_type="CircuitOpen"`` instead of burning
   a full timeout each (a campaign with one broken target finishes in
-  seconds, not hours).
+  seconds, not hours).  The breaker is a real three-state machine
+  (:class:`repro.infra.breaker.CircuitBreaker`, shared with the table
+  service's shard health monitor): after ``breaker_cooldown`` seconds
+  it goes *half-open* and admits exactly one probe job — success
+  closes the circuit and the group flows again, failure re-opens it
+  with an escalated cooldown.  PR 2's breaker stayed open forever.
 
 Results come back in *submission order* regardless of completion order,
 so a parallel campaign produces byte-identical tables to a serial one.
@@ -40,6 +45,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.infra.breaker import CircuitBreaker
 from repro.obs import OBS, clock, wall_metrics_enabled
 
 _POLL_SECONDS = 0.01
@@ -150,18 +156,23 @@ class WorkerPool:
     schedule; ``seed`` makes the jitter replayable.
     ``breaker_threshold`` consecutive failures within one
     :attr:`Job.group` open that group's circuit: later jobs in the
-    group fail fast without spawning a worker.
+    group fail fast without spawning a worker, until
+    ``breaker_cooldown`` seconds pass and a half-open probe job is
+    admitted (success re-closes the circuit).
     """
 
     def __init__(self, workers: int = 1, timeout: Optional[float] = None,
                  retries: int = 0, backoff: float = 0.0,
                  backoff_factor: float = 2.0, jitter: float = 0.0,
                  seed: int = 0,
-                 breaker_threshold: Optional[int] = None):
+                 breaker_threshold: Optional[int] = None,
+                 breaker_cooldown: float = 30.0):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if breaker_threshold is not None and breaker_threshold < 1:
             raise ValueError("breaker_threshold must be >= 1")
+        if breaker_cooldown < 0:
+            raise ValueError("breaker_cooldown must be >= 0")
         self.workers = workers
         self.timeout = timeout
         self.retries = retries
@@ -169,8 +180,10 @@ class WorkerPool:
         self.backoff_factor = backoff_factor
         self.jitter = jitter
         self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.seed = seed
         self._rng = random.Random(seed)
-        self._failures: Dict[str, int] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
         methods = multiprocessing.get_all_start_methods()
         self._ctx = (multiprocessing.get_context("fork")
                      if "fork" in methods else None)
@@ -185,19 +198,36 @@ class WorkerPool:
         return base + (self._rng.uniform(0, self.jitter)
                        if self.jitter > 0 else 0.0)
 
+    def _breaker_for(self, group: str) -> CircuitBreaker:
+        breaker = self._breakers.get(group)
+        if breaker is None:
+            # Seed composed from the group bytes (no hash(): stable
+            # across processes and PYTHONHASHSEED values).
+            group_seed = self.seed
+            for byte in group.encode("utf-8"):
+                group_seed = (group_seed * 0x9E3779B1 + byte) & 0xFFFFFFFF
+            breaker = CircuitBreaker(
+                threshold=self.breaker_threshold,
+                cooldown=self.breaker_cooldown,
+                clock=clock.now, jitter=self.jitter,
+                seed=group_seed, name=group)
+            self._breakers[group] = breaker
+        return breaker
+
     def _breaker_open(self, job: Job) -> bool:
         if self.breaker_threshold is None or job.group is None:
             return False
-        return self._failures.get(job.group, 0) >= self.breaker_threshold
+        return not self._breaker_for(job.group).allow()
 
     def _breaker_result(self, job: Job) -> JobResult:
-        failures = self._failures.get(job.group, 0)
+        breaker = self._breaker_for(job.group)
         if OBS.enabled:
             OBS.metrics.counter("pool.breaker_fast_fails").inc()
         return JobResult(
             id=job.id, ok=False, attempts=0,
             error=(f"circuit open for group {job.group!r} after "
-                   f"{failures} consecutive failures"),
+                   f"{breaker.failures} consecutive failures "
+                   f"(trip {breaker.trips}, cooling down)"),
             error_type="CircuitOpen")
 
     def _note_metrics(self, result: JobResult) -> None:
@@ -218,13 +248,9 @@ class WorkerPool:
             metrics.histogram("pool.job_seconds").observe(result.seconds)
 
     def _note_outcome(self, job: Job, ok: bool) -> None:
-        if job.group is None:
+        if job.group is None or self.breaker_threshold is None:
             return
-        if ok:
-            self._failures[job.group] = 0
-        else:
-            self._failures[job.group] = \
-                self._failures.get(job.group, 0) + 1
+        self._breaker_for(job.group).record(ok)
 
     # -- public API --------------------------------------------------
 
@@ -239,7 +265,7 @@ class WorkerPool:
         for i, job in enumerate(jobs):
             if job.id is None:
                 job.id = f"job-{i}"
-        self._failures = {}
+        self._breakers = {}
         if self._ctx is None:
             return [self._run_inline(job) for job in jobs]
         return self._run_forked(jobs)

@@ -342,6 +342,41 @@ class DynamicLinker:
         self._run_update(transaction, cpu, result_for_cpu, after=after,
                          journal=journal)
 
+    def rebuild_tables(self) -> Dict[str, int]:
+        """Reconstruct the ID tables from module metadata (recovery).
+
+        After a table fault the stored *bytes* are untrusted, but the
+        metadata that produced them is not: the program's and every
+        loaded library's auxiliary info.  Rebuild the CFG from that
+        metadata — exactly what a fresh load sequence would compute —
+        reinstall it under a fresh update transaction (version bump +
+        rewrite of every tracked word), then run a full
+        :meth:`~repro.core.tables.IdTables.sweep` so forged strays in
+        untracked words are zeroed too.  This is the single-process
+        analogue of the service plane's quarantined-shard recovery
+        (:class:`~repro.service.resilience.ResilientServiceLoop`).
+
+        Returns ``{"repaired": .., "strays": .., "entries": ..}``.
+        """
+        self._drain_pending_updates()
+        with OBS.tracer.span("linker.rebuild"):
+            new_aux = self._rebuild_merged()
+            plt_resolution = self._resolve_plt(new_aux)
+            cfg = generate_cfg(new_aux, plt_resolution=plt_resolution)
+            transaction = UpdateTransaction(
+                self.runtime.id_tables, self.runtime.update_lock,
+                new_tary=cfg.tary_ecns, new_bary=cfg.bary_ecns,
+                owner="rebuild")
+            for _ in transaction.run():
+                pass
+            self._merged_aux = new_aux
+            self.runtime.cfg = cfg
+            swept = self.runtime.id_tables.sweep()
+        if OBS.enabled:
+            OBS.metrics.counter("linker.rebuilds").inc()
+        swept["entries"] = len(cfg.tary_ecns) + len(cfg.bary_ecns)
+        return swept
+
     def dlsym(self, handle: int, symbol: str) -> int:
         library = self.loaded.get(handle)
         if library is None:

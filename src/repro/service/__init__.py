@@ -28,11 +28,20 @@ from repro.service.coalescer import (  # noqa: F401
     UpdateCoalescer,
     UpdateRequest,
 )
+from repro.service.health import (  # noqa: F401
+    HealthPolicy,
+    ShardHealthMonitor,
+)
 from repro.service.loop import (  # noqa: F401
     ServiceLoop,
     ServiceReport,
     TenantSpec,
     WritesetTemplate,
+)
+from repro.service.resilience import (  # noqa: F401
+    ParityWritesetTemplate,
+    ResilienceReport,
+    ResilientServiceLoop,
 )
 from repro.service.shards import ShardedIdTables, TableShard  # noqa: F401
 
@@ -40,4 +49,6 @@ __all__ = [
     "ShardedIdTables", "TableShard",
     "UpdateCoalescer", "UpdateRequest",
     "ServiceLoop", "ServiceReport", "TenantSpec", "WritesetTemplate",
+    "HealthPolicy", "ShardHealthMonitor",
+    "ParityWritesetTemplate", "ResilienceReport", "ResilientServiceLoop",
 ]

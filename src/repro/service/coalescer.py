@@ -32,14 +32,21 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, List, Optional, Tuple
 
+from repro.core.idencoding import MAX_ECN
 from repro.core.transactions import UpdateTransaction
-from repro.errors import InjectedFault, ServiceBackpressure
+from repro.errors import (
+    DeadlineExceeded,
+    InjectedFault,
+    ServiceBackpressure,
+)
 from repro.faults.plane import NULL_PLANE, FaultPlane
 from repro.obs import OBS
 from repro.service.shards import ShardedIdTables
 
-#: Request lifecycle states.
+#: Request lifecycle states.  ``deadline`` is terminal: the request's
+#: logical-clock budget lapsed before a commit could land (PR 7).
 PENDING, COMMITTED, FAILED = "pending", "committed", "failed"
+DEADLINE = "deadline"
 
 
 @dataclass
@@ -62,8 +69,13 @@ class UpdateRequest:
     clear_bary: Tuple[int, ...] = ()
     submitted_tick: int = -1
     completed_tick: int = -1
+    #: Logical-clock deadline: the request fails with status
+    #: ``deadline`` if still uncommitted past this tick (-1 = none).
+    deadline_tick: int = -1
     status: str = PENDING
     error: Optional[str] = None
+    #: Stable :class:`~repro.errors.ReproError` code for ``error``.
+    error_code: Optional[str] = None
 
     @property
     def id(self) -> str:
@@ -114,6 +126,19 @@ class UpdateCoalescer:
         self.rejected = 0
         #: Deterministic per-round record (JSONL-able, replayable).
         self.trace: List[dict] = []
+        # -- PR 7 resilience hooks (inert unless a monitor is wired) --
+        #: Per-shard health monitor; when set, requests targeting a
+        #: non-serving (quarantined/recovering) shard are parked
+        #: instead of committed, and commit/rollback outcomes feed it.
+        self.monitor = None
+        #: Default deadline budget in scheduler ticks for requests
+        #: submitted without one (None = no deadlines).
+        self.default_deadline: Optional[int] = None
+        #: Parked requests by shard index, awaiting recovery.
+        self.parked: Dict[int, List[UpdateRequest]] = {}
+        self.parked_total = 0
+        self.deadline_missed = 0
+        self.invalid = 0
 
     # -- submission --------------------------------------------------------
 
@@ -121,8 +146,53 @@ class UpdateCoalescer:
     def pending(self) -> int:
         return len(self.queue)
 
+    @property
+    def parked_count(self) -> int:
+        return sum(len(waiting) for waiting in self.parked.values())
+
+    def _validate(self, request: UpdateRequest) -> Optional[str]:
+        """Admission control: reject a malformed (poisoned) write-set.
+
+        A request that would blow up mid-round — a misaligned Tary
+        address, an out-of-band entry, an unpackable ECN — must fail
+        *at the door*, not crash the round it rides with innocent
+        siblings (the ``dlopen.poison`` chaos injector drives this).
+        """
+        memory = self.sharded.memory
+        for address in list(request.set_tary) + list(request.clear_tary):
+            if address % 4:
+                return f"misaligned tary address {address:#x}"
+            if not 0 <= address < memory.tary_size:
+                return f"tary address {address:#x} outside the table"
+        for site in list(request.set_bary) + list(request.clear_bary):
+            if not 0 <= site < memory.bary_entries:
+                return f"bary site {site} outside the table"
+        for ecn in list(request.set_tary.values()) + \
+                list(request.set_bary.values()):
+            if not 0 <= ecn <= MAX_ECN:
+                return f"ECN {ecn} out of 14-bit range"
+        return None
+
     def submit(self, request: UpdateRequest, tick: int = -1) -> None:
-        """Queue a request; raises :class:`ServiceBackpressure` if full."""
+        """Queue a request; raises :class:`ServiceBackpressure` if full.
+
+        A request failing admission validation is marked ``failed``
+        immediately (it never enters the queue) — the submitter sees it
+        ``done`` with an ``invalid-request`` error instead of a crashed
+        commit round.
+        """
+        error = self._validate(request)
+        if error is not None:
+            request.submitted_tick = max(request.submitted_tick, tick)
+            request.completed_tick = tick
+            request.status = FAILED
+            request.error = error
+            request.error_code = "invalid-request"
+            self.invalid += 1
+            self.log.append(request)
+            if OBS.enabled:
+                OBS.metrics.counter("service.coalesce.invalid").inc()
+            return
         if len(self.queue) >= self.max_pending:
             self.rejected += 1
             if OBS.enabled:
@@ -130,6 +200,9 @@ class UpdateCoalescer:
             raise ServiceBackpressure(len(self.queue), self.max_pending)
         if request.submitted_tick < 0:
             request.submitted_tick = tick
+        if request.deadline_tick < 0 and self.default_deadline is not None \
+                and tick >= 0:
+            request.deadline_tick = tick + self.default_deadline
         self.queue.append(request)
         self.log.append(request)
         if OBS.enabled:
@@ -154,7 +227,8 @@ class UpdateCoalescer:
         transactions interleave with every table-write batch exactly
         as they do under the single-table linker.
         """
-        while active() or self.queue:
+        while active() or self.queue or self.parked_count:
+            self._expire(clock)
             if not self.queue:
                 yield
                 continue
@@ -165,6 +239,45 @@ class UpdateCoalescer:
                 yield
             yield from self._commit_round(clock)
 
+    def _expire(self, clock: Callable[[], int]) -> None:
+        """Fail queued/parked requests whose deadline tick has passed."""
+        tick = clock()
+
+        def lapsed(request: UpdateRequest) -> bool:
+            if not (0 <= request.deadline_tick < tick):
+                return False
+            request.status = DEADLINE
+            request.completed_tick = tick
+            err = DeadlineExceeded(request.id, request.deadline_tick,
+                                   tick)
+            request.error = str(err)
+            request.error_code = err.code
+            self.deadline_missed += 1
+            if OBS.enabled:
+                OBS.metrics.counter("service.deadline.missed").inc()
+            return True
+
+        if any(0 <= r.deadline_tick < tick for r in self.queue):
+            self.queue = [r for r in self.queue if not lapsed(r)]
+        for index in list(self.parked):
+            waiting = [r for r in self.parked[index] if not lapsed(r)]
+            if waiting:
+                self.parked[index] = waiting
+            else:
+                del self.parked[index]
+
+    def unpark(self, index: int) -> int:
+        """Re-queue a recovered shard's parked requests (in order)."""
+        waiting = self.parked.pop(index, [])
+        if waiting:
+            self.queue[:0] = waiting
+        return len(waiting)
+
+    def _request_shards(self, request: UpdateRequest) -> List[int]:
+        return sorted(self.sharded.split_writes(
+            request.set_tary, request.clear_tary,
+            request.set_bary, request.clear_bary))
+
     def _commit_round(self, clock: Callable[[], int]
                       ) -> Generator[None, None, None]:
         take = len(self.queue) if self.max_round_requests is None \
@@ -173,6 +286,27 @@ class UpdateCoalescer:
         del self.queue[:take]
         self.rounds += 1
         round_no = self.rounds
+
+        # Graceful degradation: requests aimed at a shard that is not
+        # serving updates (quarantined or mid-recovery) are parked for
+        # the recovery task to re-queue — the round commits the rest.
+        parked_now: List[UpdateRequest] = []
+        if self.monitor is not None:
+            admitted = []
+            for request in requests:
+                blocked = [index for index in
+                           self._request_shards(request)
+                           if not self.monitor.serving_updates(index)]
+                if blocked:
+                    self.parked.setdefault(blocked[0], []).append(
+                        request)
+                    self.parked_total += 1
+                    parked_now.append(request)
+                    if OBS.enabled:
+                        OBS.metrics.counter("service.parked").inc()
+                else:
+                    admitted.append(request)
+            requests = admitted
 
         # Merge the round's deltas per shard, in arrival order: start
         # from each shard's current trusted assignment and fold every
@@ -231,11 +365,16 @@ class UpdateCoalescer:
                 "service.coalesce.round_requests").observe(len(requests))
         span.end(shards=len(by_shard),
                  failed=len(failed_requests))
-        self.trace.append({
+        entry = {
             "round": round_no,
             "requests": [request.id for request in requests],
             "shards": shard_records,
-        })
+        }
+        if self.monitor is not None:
+            # Only resilient runs carry the parked column, so the
+            # PR 6 golden trace stays byte-identical.
+            entry["parked"] = [request.id for request in parked_now]
+        self.trace.append(entry)
 
     def _commit_shard(self, shard, tary: Dict[int, int],
                       bary: Dict[int, int], requests: List[UpdateRequest],
@@ -268,6 +407,8 @@ class UpdateCoalescer:
             status = "rolled-back"
             if OBS.enabled:
                 OBS.metrics.counter("service.shard.rollbacks").inc()
+            if self.monitor is not None:
+                self.monitor.note_rollback(shard.index)
         else:
             shard.commits += 1
             self.transactions += 1
@@ -275,6 +416,8 @@ class UpdateCoalescer:
                 OBS.metrics.counter("service.shard.commits").inc()
                 OBS.metrics.counter("service.coalesce.batched").inc(
                     len(requests))
+            if self.monitor is not None:
+                self.monitor.note_commit(shard.index)
         return {
             "shard": shard.index,
             "status": status,

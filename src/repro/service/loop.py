@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.core.transactions import (
+    DEFAULT_CHECK_RETRIES,
     CheckResult,
     UpdateTransaction,
     tx_check_gen,
@@ -212,6 +213,19 @@ class ServiceLoop:
         self.checks_per_gap = checks_per_gap
         self.n_tenants = tenants
         self.template = template or WritesetTemplate.default()
+        self.fault_plane = fault_plane
+        #: Shard health monitor; None in the base loop, wired by
+        #: :class:`~repro.service.resilience.ResilientServiceLoop`.
+        self.monitor = None
+        #: TxCheck retry budget per check (the resilient loop shrinks
+        #: it: under deadline budgets a stuck check must escalate into
+        #: quarantine evidence quickly, not spin for 4096 ticks).
+        self.check_retry_budget = DEFAULT_CHECK_RETRIES
+        #: Resubmissions a tenant grants a failed (rolled-back or
+        #: deadline-lapsed) request.  0 in the base loop — the
+        #: resilient loop raises it so transient faults cost a retry,
+        #: not the whole round of work.
+        self.request_retries = 0
         self.memory = TableMemory(bary_entries=bary_entries)
         self.sharded = ShardedIdTables(self.memory, shards=shards)
         self.coalescer = UpdateCoalescer(
@@ -277,25 +291,60 @@ class ServiceLoop:
             request = UpdateRequest(
                 tenant=spec.name, kind="dlopen", seq=seq,
                 set_tary=set_tary, set_bary=set_bary)
+            if self.fault_plane.should("service.request.poison",
+                                       detail=spec.name):
+                # A corrupted dlopen request: misaligned Tary address.
+                # Admission validation must fail it at the door instead
+                # of letting it crash the whole commit round.
+                request = UpdateRequest(
+                    tenant=spec.name, kind="dlopen", seq=seq,
+                    set_tary={spec.tary_base + 1: spec.ecn_base},
+                    set_bary=set_bary)
             seq += 1
             yield from self._submit(request)
             while not request.done:
                 yield
+            retries = 0
+            while request.status != COMMITTED and \
+                    retries < self.request_retries:
+                # A rolled-back (or deadline-lapsed, or poisoned)
+                # dlopen is retried with a clean write-set and a fresh
+                # sequence number: transient faults cost one retry,
+                # not the tenant's whole round.
+                retries += 1
+                request = UpdateRequest(
+                    tenant=spec.name, kind="dlopen", seq=seq,
+                    set_tary=set_tary, set_bary=set_bary)
+                seq += 1
+                yield from self._submit(request)
+                while not request.done:
+                    yield
             if request.status != COMMITTED:
                 continue  # rolled back: nothing installed, nothing to close
+            if self.fault_plane.should("service.tenant.crash",
+                                       detail=spec.name):
+                # Mid-round crash: the tenant dies after its dlopen
+                # committed and never issues checks or the matching
+                # dlclose — its entries stay installed (the service
+                # must keep serving everyone else regardless).
+                return
             for _ in range(self.checks_per_gap):
                 site, target = pairs[rng.randrange(len(pairs))]
                 try:
                     result, retries = yield from tx_check_gen(
-                        shard.tables, site, target)
+                        shard.tables, site, target,
+                        max_retries=self.check_retry_budget)
                 except TableIntegrityError:
                     self.counters["escalations"] += 1
+                    if self.monitor is not None:
+                        self.monitor.note_escalation(spec.shard)
                 else:
                     self.counters["checks"] += 1
                     self.counters["check_retries"] += retries
                     if result == CheckResult.ALLOWED:
                         self.counters["checks_allowed"] += 1
                 yield
+            yield from self._extra_checks(spec, rng, shard)
             close = UpdateRequest(
                 tenant=spec.name, kind="dlclose", seq=seq,
                 clear_tary=tuple(set_tary), clear_bary=tuple(set_bary))
@@ -303,8 +352,41 @@ class ServiceLoop:
             yield from self._submit(close)
             while not close.done:
                 yield
+            retries = 0
+            while close.status != COMMITTED and \
+                    retries < self.request_retries:
+                retries += 1
+                close = UpdateRequest(
+                    tenant=spec.name, kind="dlclose", seq=seq,
+                    clear_tary=tuple(set_tary),
+                    clear_bary=tuple(set_bary))
+                seq += 1
+                yield from self._submit(close)
+                while not close.done:
+                    yield
+
+    def _extra_checks(self, spec: TenantSpec, rng: random.Random,
+                      shard) -> Generator[None, None, None]:
+        """Extra per-gap check load; the base loop issues none.
+
+        The resilient subclass issues *negative* checks here —
+        (site, target) pairs the CFG forbids — whose only acceptable
+        outcome is a disallow: an ALLOWED result is a forged edge, the
+        one inadmissible event of the whole chaos campaign.
+        """
+        return
+        yield  # pragma: no cover - makes this a generator function
 
     # -- the run -----------------------------------------------------------
+
+    def _extra_tasks(self, tenant_tasks: list) -> list:
+        """``(generator, name)`` pairs to co-schedule with the tenants.
+
+        The base loop adds none; the resilient subclass registers its
+        scrub, recovery and chaos-injector tasks here so they ride the
+        same seeded scheduler as everything else.
+        """
+        return []
 
     def run(self) -> ServiceReport:
         span = OBS.tracer.begin("service.run", mode=self.mode,
@@ -323,6 +405,8 @@ class ServiceLoop:
                 active=lambda: any(t.alive for t in tenant_tasks),
                 clock=lambda: self.scheduler.ticks),
             name="coalescer")
+        for generator, name in self._extra_tasks(tenant_tasks):
+            self.scheduler.add_generator(generator, name=name)
         outcome = self.scheduler.run(max_ticks=self.max_ticks)
         if outcome.fault is not None:
             raise outcome.fault

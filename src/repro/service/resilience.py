@@ -1,0 +1,474 @@
+"""The self-healing service plane: quarantine, recovery, chaos hardening.
+
+:class:`ResilientServiceLoop` upgrades the PR 6
+:class:`~repro.service.loop.ServiceLoop` from *fault-oblivious* to
+*self-healing*:
+
+* **Parity-spaced IDs.**  Tenants are placed with
+  :func:`~repro.core.idencoding.parity_ecn`-encoded classes, so any
+  single bit flip in a stored ID either fails validity or fails
+  parity — it can never alias another in-use equivalence class.  A
+  forged edge therefore requires evidence the campaign can count.
+* **Health monitoring.**  A :class:`~repro.service.health
+  .ShardHealthMonitor` runs one circuit breaker per shard on the
+  scheduler's logical clock, fed by batch commit/rollback outcomes,
+  TxCheck escalations and a background integrity-scrub task.
+* **Quarantine.**  A tripped shard is *fenced* (the shared
+  :class:`~repro.vm.memory.TableMemory` generation stamp is bumped, so
+  the PR 5 dispatch plane drops every fused check sequence cached
+  against the poisoned bands) and stops serving updates; the coalescer
+  parks its requests.  Checks stay readable — degradation, not outage.
+  Parked requests keep their deadline budgets: if recovery cannot land
+  in time they fail with ``deadline`` instead of hanging forever.
+* **Recovery.**  After the breaker cooldown, the recovery task rebuilds
+  the shard from the service's own load journal (the committed request
+  log restricted to the shard's bands — the
+  :class:`~repro.linker.dynamic_linker.LoadJournal` discipline applied
+  service-side), re-installs it under a fresh per-shard update
+  transaction, runs a parity-checked full-band
+  :meth:`~repro.core.tables.IdTables.sweep`, verifies the band is
+  byte-identical to a clean rebuild, probes one permitted pair through
+  a real check transaction, and only then re-admits the shard and
+  unparks its queue.  A failed probe re-quarantines with an escalated
+  cooldown.
+* **Negative checks.**  Tenants interleave forbidden (site, target)
+  pairs with their normal load; an ALLOWED verdict on one is a forged
+  edge — ``forged_allows`` is the campaign's undetected-corruption
+  count and must be zero.
+
+Requests are *parked*, never migrated: the co-residency invariant pins
+a tenant's sites and targets to one shard's bands, so its update can
+only ever land there.  See ``docs/RESILIENCE.md``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.core.idencoding import pack_id, parity_ecn, parity_ecn_ok
+from repro.core.tables import bary_index
+from repro.core.transactions import (
+    CheckResult,
+    UpdateTransaction,
+    tx_check_gen,
+)
+from repro.errors import TableIntegrityError
+from repro.faults.plane import NULL_PLANE, FaultPlane
+from repro.faults.service_injectors import (
+    shard_bit_flip_storm,
+    version_gap_storm,
+)
+from repro.obs import OBS
+from repro.service.coalescer import COMMITTED
+from repro.service.health import HealthPolicy, ShardHealthMonitor
+from repro.service.loop import (
+    ServiceLoop,
+    ServiceReport,
+    TenantSpec,
+    WritesetTemplate,
+)
+
+
+@dataclass(frozen=True)
+class ParityWritesetTemplate(WritesetTemplate):
+    """A write-set template that installs parity-spaced ECNs.
+
+    Same shape as the base template; only the encoding differs —
+    ``ecn_base + cls`` is pushed through :func:`parity_ecn` so every
+    installed class ID is Hamming-distance >= 2 from every other.
+    """
+
+    def instantiate(self, tary_base: int, site_base: int, ecn_base: int,
+                    ) -> Tuple[Dict[int, int], Dict[int, int]]:
+        set_tary = {tary_base + offset: parity_ecn(ecn_base + cls)
+                    for offset, cls in self.tary}
+        set_bary = {site_base + offset: parity_ecn(ecn_base + cls)
+                    for offset, cls in self.bary}
+        return set_tary, set_bary
+
+
+@dataclass
+class ResilienceReport(ServiceReport):
+    """A :class:`ServiceReport` plus the self-healing outcome."""
+
+    parked: int = 0
+    deadline_missed: int = 0
+    invalid_requests: int = 0
+    quarantines: int = 0
+    recoveries: int = 0
+    probes_failed: int = 0
+    mttr_mean: float = 0.0
+    mttr_max: int = 0
+    #: Fraction of commit rounds in which every participating shard
+    #: committed cleanly (quarantined shards don't participate — their
+    #: requests park — so this measures the *serving* plane).
+    availability: float = 1.0
+    detected_corruptions: int = 0
+    #: Corrupt words found and repaired by the final teardown sweep
+    #: (landed after the last scrub pass; detected, never exploited).
+    teardown_repairs: int = 0
+    repaired_entries: int = 0
+    negative_checks: int = 0
+    forged_allows: int = 0
+    rebuild_mismatches: int = 0
+    rebuilds_verified: int = 0
+    faults_injected: int = 0
+    health_transitions: int = 0
+    health_states: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def undetected_corruptions(self) -> int:
+        """Forged edges admitted by a check transaction: must be 0.
+
+        Every other corruption path is detected by construction —
+        audits compare stored words against the trusted assignment,
+        the teardown sweep zeroes strays, and parity-spaced ECNs turn
+        single flips into invalid IDs.
+        """
+        return self.forged_allows
+
+    def to_dict(self) -> dict:
+        out = super().to_dict()
+        out["undetected_corruptions"] = self.undetected_corruptions
+        return out
+
+
+class ResilientServiceLoop(ServiceLoop):
+    """A :class:`ServiceLoop` wearing the self-healing plane.
+
+    Everything still runs on the one seeded scheduler, so a chaos
+    campaign — storms, quarantines, rebuilds and all — is a pure
+    function of ``(seed, parameters)`` and replays byte-for-byte.
+    """
+
+    def __init__(self, tenants: int = 10, shards: int = 8,
+                 seed: int = 0, churn: int = 2,
+                 policy: Optional[HealthPolicy] = None,
+                 deadline: Optional[int] = None,
+                 negative_checks_per_gap: int = 1,
+                 check_retry_budget: int = 64,
+                 bitflip_storm: Optional[dict] = None,
+                 stale_storm: Optional[dict] = None,
+                 template: Optional[WritesetTemplate] = None,
+                 fault_plane: FaultPlane = NULL_PLANE,
+                 **kwargs) -> None:
+        # The policy is consulted by _estimate_ticks() during the base
+        # __init__, so it must exist first.
+        self.policy = policy or HealthPolicy()
+        template = template or WritesetTemplate.default()
+        if not isinstance(template, ParityWritesetTemplate):
+            template = ParityWritesetTemplate(
+                template.tary, template.bary, template.checks,
+                template.n_classes)
+        super().__init__(tenants=tenants, shards=shards, seed=seed,
+                         churn=churn, template=template,
+                         fault_plane=fault_plane, **kwargs)
+        self.check_retry_budget = check_retry_budget
+        self.negative_checks_per_gap = negative_checks_per_gap
+        self.request_retries = 2
+        self.bitflip_storm = bitflip_storm
+        self.stale_storm = stale_storm
+        self.monitor = ShardHealthMonitor(
+            self.sharded, clock=lambda: self.scheduler.ticks,
+            policy=self.policy, seed=seed, fence=self._fence)
+        self.coalescer.monitor = self.monitor
+        # Always budget requests: a parked request must either commit
+        # after recovery or fail its deadline — never hang the drain.
+        self.coalescer.default_deadline = (
+            deadline if deadline is not None
+            else 6 * self.policy.cooldown_ticks)
+        self.counters.update(negative_checks=0, forged_allows=0)
+        self.fenced = 0
+        self.repaired_entries = 0
+        self.teardown_repairs = 0
+        self.rebuild_mismatches = 0
+        self.rebuilds_verified = 0
+
+    def _estimate_ticks(self) -> int:
+        # Room for every shard to ride out an escalated quarantine
+        # cooldown (plus the rebuild itself) on top of the base load.
+        policy = self.policy
+        recovery = (policy.cooldown_ticks + policy.max_cooldown_ticks
+                    + policy.jitter_ticks + 2000)
+        return (super()._estimate_ticks()
+                + 4 * recovery * len(self.sharded))
+
+    # -- fencing -----------------------------------------------------------
+
+    def _fence(self, index: int) -> None:
+        """Invalidate every cached fast path against a poisoned shard.
+
+        The PR 5 dispatch plane fuses check sequences against the
+        current :class:`~repro.vm.memory.TableMemory` generation; a
+        quarantined shard's bands can no longer back any of them.
+        """
+        self.memory.generation += 1
+        self.fenced += 1
+        if OBS.enabled:
+            OBS.metrics.counter("service.health.fenced").inc()
+
+    # -- negative check load ----------------------------------------------
+
+    def _forbidden_pairs(self, spec: TenantSpec) -> List[Tuple[int, int]]:
+        """(site, target) pairs of this tenant the CFG does *not* permit."""
+        template = spec.template
+        return [(spec.site_base + s_off, spec.tary_base + t_off)
+                for s_off, s_cls in template.bary
+                for t_off, t_cls in template.tary
+                if s_cls != t_cls]
+
+    def _extra_checks(self, spec: TenantSpec, rng: random.Random,
+                      shard) -> Generator[None, None, None]:
+        forbidden = self._forbidden_pairs(spec)
+        if not forbidden:
+            return
+        for _ in range(self.negative_checks_per_gap):
+            site, target = forbidden[rng.randrange(len(forbidden))]
+            try:
+                result, _ = yield from tx_check_gen(
+                    shard.tables, site, target,
+                    max_retries=self.check_retry_budget)
+            except TableIntegrityError:
+                self.counters["escalations"] += 1
+                self.monitor.note_escalation(spec.shard)
+            else:
+                self.counters["negative_checks"] += 1
+                if result == CheckResult.ALLOWED:
+                    # A forged edge got through: the one inadmissible
+                    # outcome.  Count it; the campaign gate is zero.
+                    self.counters["forged_allows"] += 1
+                    if OBS.enabled:
+                        OBS.metrics.counter(
+                            "service.forged_allows").inc()
+            yield
+
+    # -- co-scheduled resilience tasks ------------------------------------
+
+    def _extra_tasks(self, tenant_tasks: list) -> list:
+        def tenants_active() -> bool:
+            return any(task.alive for task in tenant_tasks)
+
+        def plane_active() -> bool:
+            # Recovery (and the drain) must outlive the tenants while
+            # queued or parked requests remain.
+            return (tenants_active() or bool(self.coalescer.queue)
+                    or bool(self.coalescer.parked_count))
+
+        tasks = [
+            (self.monitor.scrub_task(plane_active), "health/scrub"),
+            (self._recovery_task(plane_active), "health/recovery"),
+        ]
+        storm_seed = self.seed * 0x9E3779B1 + 0xC2B2AE35
+        if self.bitflip_storm is not None:
+            opts = dict(seed=storm_seed & 0xFFFFFFFF)
+            opts.update(self.bitflip_storm)
+            tasks.append((shard_bit_flip_storm(
+                self.sharded, self.fault_plane, tenants_active, **opts),
+                "chaos/bitflip"))
+        if self.stale_storm is not None:
+            opts = dict(seed=(storm_seed ^ 0x5BD1E995) & 0xFFFFFFFF)
+            opts.update(self.stale_storm)
+            tasks.append((version_gap_storm(
+                self.sharded, self.fault_plane, tenants_active, **opts),
+                "chaos/stale"))
+        return tasks
+
+    # -- recovery ----------------------------------------------------------
+
+    def _recovery_task(self, active: Callable[[], bool],
+                       ) -> Generator[None, None, None]:
+        """Scheduler task: rebuild quarantined shards after cooldown."""
+        while active():
+            for shard in self.sharded.shards:
+                if self.monitor.ready_to_recover(shard.index) and \
+                        self.monitor.begin_recovery(shard.index):
+                    yield from self._recover_shard(shard)
+            yield
+
+    def _fold_committed(self, index: int,
+                        ) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """Journal-driven rebuild: fold the committed request log.
+
+        The coalescer's log is the service's load journal; replaying
+        every *committed* delta restricted to this shard's bands
+        reconstructs the trusted assignment from scratch, independent
+        of the (possibly corrupted) in-memory bookkeeping.
+        """
+        shard = self.sharded.shards[index]
+        tary: Dict[int, int] = {}
+        bary: Dict[int, int] = {}
+        for request in self.coalescer.log:
+            if request.status != COMMITTED:
+                continue
+            for address, ecn in request.set_tary.items():
+                if shard.owns_address(address):
+                    tary[address] = ecn
+            for address in request.clear_tary:
+                if shard.owns_address(address):
+                    tary.pop(address, None)
+            for site, ecn in request.set_bary.items():
+                if shard.owns_site(site):
+                    bary[site] = ecn
+            for site in request.clear_bary:
+                if shard.owns_site(site):
+                    bary.pop(site, None)
+        return tary, bary
+
+    def _recover_shard(self, shard) -> Generator[None, None, None]:
+        index = shard.index
+        span = OBS.tracer.begin("service.recovery", shard=index)
+        # 1. Rebuild the trusted assignment from the load journal and
+        #    cross-check the live bookkeeping against it (the journal
+        #    wins: bookkeeping could have been corrupted too).
+        tary, bary = self._fold_committed(index)
+        if (tary != shard.tables.tary_ecns
+                or bary != shard.tables.bary_ecns):
+            self.rebuild_mismatches += 1
+        yield
+        # 2. Re-install it under a fresh per-shard update transaction:
+        #    a version bump plus a rewrite of every tracked word, so
+        #    any corrupt-but-tracked entry is overwritten.
+        transaction = UpdateTransaction(
+            shard.tables, shard.lock, new_tary=tary, new_bary=bary,
+            batch=self.coalescer.batch, owner=f"recovery/shard{index}")
+        for _ in transaction.run():
+            yield
+        # 3. Parity-checked sweep of the whole band: repairs anything
+        #    the rewrite missed and zeroes forged strays in untracked
+        #    words (invisible to a plain scrub).
+        swept = shard.tables.sweep(
+            tary_range=(shard.tary_lo, shard.tary_hi),
+            site_range=(shard.site_lo, shard.site_hi))
+        self.repaired_entries += swept["repaired"] + swept["strays"]
+        yield
+        # 4. Verify: audit clean, parity consistent, band byte-identical
+        #    to a clean rebuild, and one permitted pair passes a real
+        #    check transaction.
+        ok = self._verify_band(shard)
+        pair = self._probe_pair(shard)
+        if ok and pair is not None:
+            site, target = pair
+            try:
+                result, _ = yield from tx_check_gen(
+                    shard.tables, site, target,
+                    max_retries=self.check_retry_budget)
+            except TableIntegrityError:
+                ok = False
+            else:
+                ok = result == CheckResult.ALLOWED
+        self.monitor.record_probe(index, ok)
+        if ok:
+            self.rebuilds_verified += 1
+            requeued = self.coalescer.unpark(index)
+            span.end(status="recovered", requeued=requeued,
+                     repaired=swept["repaired"], strays=swept["strays"])
+        else:
+            span.end(status="probe-failed")
+
+    def _verify_band(self, shard) -> bool:
+        findings = shard.tables.audit()
+        if findings["tary"] or findings["bary"]:
+            return False
+        tables = shard.tables
+        for ecn in list(tables.tary_ecns.values()) + \
+                list(tables.bary_ecns.values()):
+            if not parity_ecn_ok(ecn):
+                return False
+        return self.band_bytes(shard) == self.expected_band_bytes(shard)
+
+    def band_bytes(self, shard) -> Tuple[bytes, bytes]:
+        """The shard's live (tary, bary) band bytes."""
+        memory = shard.tables.memory
+        return (bytes(memory.tary[shard.tary_lo:shard.tary_hi]),
+                bytes(memory.bary[bary_index(shard.site_lo):
+                                  bary_index(shard.site_hi)]))
+
+    def expected_band_bytes(self, shard) -> Tuple[bytes, bytes]:
+        """Band bytes a clean rebuild of the trusted assignment yields."""
+        tables = shard.tables
+        tary = bytearray(shard.tary_hi - shard.tary_lo)
+        for address, ecn in tables.tary_ecns.items():
+            word = pack_id(ecn, tables.version)
+            offset = address - shard.tary_lo
+            tary[offset:offset + 4] = word.to_bytes(4, "little")
+        bary = bytearray(4 * (shard.site_hi - shard.site_lo))
+        for site, ecn in tables.bary_ecns.items():
+            word = pack_id(ecn, tables.version)
+            offset = 4 * (site - shard.site_lo)
+            bary[offset:offset + 4] = word.to_bytes(4, "little")
+        return bytes(tary), bytes(bary)
+
+    def _probe_pair(self, shard) -> Optional[Tuple[int, int]]:
+        """First installed permitted pair on this shard, if any."""
+        tables = shard.tables
+        for spec in self.specs:
+            if spec.shard != shard.index:
+                continue
+            for site, target in spec.template.check_pairs(
+                    spec.tary_base, spec.site_base):
+                if tables.bary_ecns.get(site) is not None and \
+                        tables.bary_ecns.get(site) == \
+                        tables.tary_ecns.get(target):
+                    return site, target
+        return None
+
+    # -- reporting ---------------------------------------------------------
+
+    def _availability(self) -> float:
+        """Fraction of per-shard round commits that succeeded.
+
+        Per shard-record, not per whole round: one torn shard must not
+        mark its siblings' clean service unavailable — the guarantee is
+        that *non-quarantined shards keep serving* (quarantined shards
+        park their requests and never appear in a round at all).
+        """
+        records = [record for entry in self.coalescer.trace
+                   for record in entry["shards"]]
+        if not records:
+            return 1.0
+        ok = sum(1 for record in records if record["status"] == "ok")
+        return ok / len(records)
+
+    def _teardown_sweep(self) -> int:
+        """Final full sweep: any corruption that landed after the last
+        scrub pass is detected (and repaired) here, never silently
+        carried out of the run."""
+        repaired = 0
+        for shard in self.sharded.shards:
+            swept = shard.tables.sweep(
+                tary_range=(shard.tary_lo, shard.tary_hi),
+                site_range=(shard.site_lo, shard.site_hi))
+            repaired += swept["repaired"] + swept["strays"]
+        return repaired
+
+    def _build_report(self, ticks: int) -> ServiceReport:
+        base = super()._build_report(ticks)
+        self.teardown_repairs = self._teardown_sweep()
+        monitor = self.monitor
+        mttrs = monitor.mttr_ticks()
+        report = ResilienceReport(
+            **base.__dict__,
+            parked=self.coalescer.parked_total,
+            deadline_missed=self.coalescer.deadline_missed,
+            invalid_requests=self.coalescer.invalid,
+            quarantines=monitor.quarantines,
+            recoveries=len(monitor.recoveries),
+            probes_failed=monitor.probes_failed,
+            mttr_mean=(sum(mttrs) / len(mttrs)) if mttrs else 0.0,
+            mttr_max=max(mttrs) if mttrs else 0,
+            availability=self._availability(),
+            detected_corruptions=(monitor.detected_corruptions
+                                  + self.teardown_repairs),
+            teardown_repairs=self.teardown_repairs,
+            repaired_entries=self.repaired_entries,
+            negative_checks=self.counters["negative_checks"],
+            forged_allows=self.counters["forged_allows"],
+            rebuild_mismatches=self.rebuild_mismatches,
+            rebuilds_verified=self.rebuilds_verified,
+            faults_injected=len(self.fault_plane.events),
+            health_transitions=len(monitor.transitions),
+            health_states={str(k): v for k, v in
+                           sorted(monitor.states().items())})
+        return report

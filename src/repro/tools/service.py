@@ -20,11 +20,22 @@ The command-line face of :mod:`repro.service`:
     JSONL — the byte-identity artifact the CI smoke job diffs across
     two same-seed runs.
 
+``chaos``
+    The self-healing campaign (:mod:`repro.service.chaos`): resilient
+    and fault-oblivious legs under the same seeded fault schedule at
+    each tenant count.  Prints the campaign table with per-cell
+    PASS/FAIL verdicts (zero undetected corruptions, availability
+    floor, byte-identical recovery); exits non-zero on any FAIL.
+    ``--out`` writes the artifact, ``--trace-out`` the canonical
+    campaign JSONL the CI ``chaos-smoke`` job ``cmp``'s against the
+    pinned golden.
+
 Examples::
 
     python -m repro service run --tenants 100 --seed 0 --verify
     python -m repro service scale --quick --out benchmarks/results/service_scaling.txt
     python -m repro service trace --tenants 10 --seed 7
+    python -m repro service chaos --seed 7 --out benchmarks/results/service_chaos.txt
 """
 
 from __future__ import annotations
@@ -175,6 +186,23 @@ def build_parser() -> argparse.ArgumentParser:
     common(trace)
     trace.add_argument("--mode", choices=("sharded", "global"),
                        default="sharded")
+
+    chaos = sub.add_parser("chaos",
+                           help="self-healing chaos campaign vs the "
+                                "fault-oblivious baseline")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--shards", type=int, default=4,
+                       help="table shards (default 4)")
+    chaos.add_argument("--churn", type=int, default=2)
+    chaos.add_argument("--tenants", type=int, nargs="+", default=None,
+                       help=f"tenant counts (default "
+                            f"{' '.join(map(str, QUICK_TENANTS))})")
+    chaos.add_argument("--out", type=Path, default=None,
+                       help="also write the campaign table to this "
+                            "file")
+    chaos.add_argument("--trace-out", type=Path, default=None,
+                       help="write the canonical campaign JSONL "
+                            "(faults, health transitions, both legs)")
     return parser
 
 
@@ -228,12 +256,39 @@ def _trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos(args: argparse.Namespace) -> int:
+    from repro.service.chaos import (cell_checks, chaos_rows,
+                                     chaos_trace_jsonl,
+                                     render_chaos_table)
+    counts = tuple(args.tenants) if args.tenants else QUICK_TENANTS
+    cells = chaos_rows(counts, args.seed, shards=args.shards,
+                       churn=args.churn)
+    table = render_chaos_table(cells, args.seed)
+    print(table)
+    if args.out:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(table + "\n")
+        print(f"written: {args.out}", file=sys.stderr)
+    if args.trace_out:
+        args.trace_out.parent.mkdir(parents=True, exist_ok=True)
+        args.trace_out.write_text(chaos_trace_jsonl(cells) + "\n")
+        print(f"written: {args.trace_out}", file=sys.stderr)
+    failed = [name for cell in cells
+              for name, ok in cell_checks(cell) if not ok]
+    if failed:
+        print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _run(args)
     if args.command == "scale":
         return _scale(args)
+    if args.command == "chaos":
+        return _chaos(args)
     return _trace(args)
 
 

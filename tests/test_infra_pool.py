@@ -309,6 +309,186 @@ class TestCircuitBreaker:
         with pytest.raises(ValueError):
             WorkerPool(breaker_threshold=0)
 
+    def test_cooldown_validated(self):
+        with pytest.raises(ValueError):
+            WorkerPool(breaker_threshold=1, breaker_cooldown=-1.0)
+
+
+class TestBreakerCooldown:
+    """Regression (PR 7): PR 2's breaker never closed again once it
+    tripped.  The pool now runs the shared three-state
+    :class:`repro.infra.breaker.CircuitBreaker`: after the cooldown a
+    half-open probe is admitted, and a probe success re-closes the
+    circuit within the *same* run."""
+
+    def test_probe_after_cooldown_reopens_the_group(self, tmp_path):
+        counter = str(tmp_path / "attempts")
+        # Zero cooldown: the very next job after the trip is the
+        # half-open probe.  _flaky fails once then succeeds, so the
+        # probe closes the breaker and the rest of the group flows.
+        pool = WorkerPool(workers=1, breaker_threshold=1,
+                          breaker_cooldown=0.0)
+        results = pool.run([
+            Job(fn=_flaky, args=(counter, 1), group="g", id="trip"),
+            Job(fn=_flaky, args=(counter, 1), group="g", id="probe"),
+            Job(fn=_square, args=(3,), group="g", id="after"),
+        ])
+        assert results[0].error_type == "RuntimeError"  # tripped
+        assert results[1].ok                            # probe ran
+        assert results[2].ok and results[2].value == 9  # circuit closed
+
+    def test_failed_probe_reopens_the_circuit(self):
+        pool = WorkerPool(workers=1, breaker_threshold=1,
+                          breaker_cooldown=0.0)
+        results = pool.run([
+            Job(fn=_raise_value_error, group="g", id="trip"),
+            Job(fn=_raise_value_error, group="g", id="probe"),
+        ])
+        assert results[0].error_type == "ValueError"
+        # The probe was admitted (it ran and failed for real, not
+        # via fast-fail) and its failure re-opened the circuit.
+        assert results[1].error_type == "ValueError"
+        breaker = pool._breakers["g"]
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+
+    def test_long_cooldown_keeps_fast_failing(self):
+        pool = WorkerPool(workers=1, breaker_threshold=1,
+                          breaker_cooldown=600.0)
+        results = pool.run([
+            Job(fn=_raise_value_error, group="g")
+            for _ in range(4)])
+        assert results[0].error_type == "ValueError"
+        assert all(r.error_type == "CircuitOpen" for r in results[1:])
+
+    def test_half_open_probe_inline_mode(self, tmp_path):
+        counter = str(tmp_path / "attempts")
+        pool = WorkerPool(breaker_threshold=1, breaker_cooldown=0.0)
+        pool._ctx = None
+
+        def flaky_local():
+            return _flaky(counter, 1)
+
+        results = pool.run([Job(fn=flaky_local, group="g"),
+                            Job(fn=flaky_local, group="g"),
+                            Job(fn=flaky_local, group="g")])
+        assert not results[0].ok
+        assert results[1].ok and results[2].ok
+
+
+class TestCircuitBreakerStateMachine:
+    """The shared breaker itself, on an injected fake clock — the same
+    state machine the table-service shard health monitor drives on the
+    scheduler's logical tick counter."""
+
+    def _make(self, **kwargs):
+        from repro.infra.breaker import CircuitBreaker
+        state = {"now": 0.0}
+        defaults = dict(threshold=2, cooldown=10.0,
+                        clock=lambda: state["now"])
+        defaults.update(kwargs)
+        return CircuitBreaker(**defaults), state
+
+    def test_trips_at_threshold_and_waits_out_cooldown(self):
+        breaker, now = self._make()
+        breaker.record(False)
+        assert breaker.state == "closed"
+        breaker.record(False)
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        now["now"] = 9.9
+        assert not breaker.allow()
+        now["now"] = 10.0
+        assert breaker.allow()               # the half-open probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow()           # only one probe slot
+
+    def test_probe_success_closes(self):
+        breaker, now = self._make(threshold=1)
+        breaker.record(False)
+        now["now"] = 10.0
+        assert breaker.allow()
+        breaker.record(True)
+        assert breaker.state == "closed"
+        assert breaker.failures == 0
+        assert breaker.allow()
+
+    def test_probe_failure_escalates_cooldown(self):
+        breaker, now = self._make(threshold=1, cooldown_factor=2.0)
+        breaker.record(False)                 # trip 1: cooldown 10
+        assert breaker.reopen_at == 10.0
+        now["now"] = 10.0
+        assert breaker.allow()
+        breaker.record(False)                 # trip 2: cooldown 20
+        assert breaker.state == "open"
+        assert breaker.reopen_at == 30.0
+        now["now"] = 29.0
+        assert not breaker.allow()
+        now["now"] = 30.0
+        assert breaker.allow()
+
+    def test_max_cooldown_caps_escalation(self):
+        breaker, now = self._make(threshold=1, cooldown_factor=10.0,
+                                  max_cooldown=15.0)
+        breaker.record(False)
+        for trip in range(3):
+            now["now"] = breaker.reopen_at
+            assert breaker.allow()
+            breaker.record(False)
+        assert breaker.current_cooldown() == 15.0
+
+    def test_force_open_skips_the_count(self):
+        breaker, _ = self._make(threshold=100)
+        breaker.force_open("integrity audit failed")
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.transitions[-1][3] == "integrity audit failed"
+
+    def test_seeded_jitter_is_replayable(self):
+        from repro.infra.breaker import CircuitBreaker
+        delays = []
+        for _ in range(2):
+            breaker = CircuitBreaker(threshold=1, cooldown=10.0,
+                                     clock=lambda: 0.0,
+                                     jitter=5.0, seed=42)
+            breaker.record(False)
+            delays.append(breaker.reopen_at)
+        assert delays[0] == delays[1]
+        assert 10.0 <= delays[0] <= 15.0
+
+    def test_success_resets_consecutive_count(self):
+        breaker, _ = self._make(threshold=2)
+        breaker.record(False)
+        breaker.record(True)
+        breaker.record(False)
+        assert breaker.state == "closed"
+
+    def test_transitions_log_records_every_move(self):
+        breaker, now = self._make(threshold=1)
+        breaker.record(False)
+        now["now"] = 10.0
+        breaker.allow()
+        breaker.record(True)
+        states = [(frm, to) for _, frm, to, _ in breaker.transitions]
+        assert states == [("closed", "open"),
+                          ("open", "half-open"),
+                          ("half-open", "closed")]
+
+    def test_reset_restores_pristine_state(self):
+        breaker, _ = self._make(threshold=1)
+        breaker.record(False)
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.trips == 0 and breaker.failures == 0
+        assert breaker.allow()
+
+    def test_validation(self):
+        from repro.infra.breaker import CircuitBreaker
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1.0)
+
 
 class TestWorkerFaultPlan:
     """The repro.faults worker-fault injector through the real pool."""

@@ -13,6 +13,7 @@ from pathlib import Path
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.idencoding import pack_id
 from repro.core.tables import IdTables, TableSnapshot
 from repro.core.transactions import UpdateLock
 from repro.errors import RuntimeError_, ServiceBackpressure
@@ -222,6 +223,59 @@ class TestUpdateCoalescer:
         assert 0 not in state["tary"]
         record = coalescer.trace[0]["shards"][0]
         assert record["status"] == "rolled-back"
+
+    def test_mid_batch_rollback_is_byte_isolated(self):
+        """Raw band bytes around a mid-batch fault: the failed shard is
+        byte-identical to its pre-round state, sibling shards carry
+        exactly their committed bytes — no word outside the failed
+        band moves in either direction."""
+        sharded = ShardedIdTables(shards=3)
+        memory = sharded.memory
+
+        def bands():
+            return [(bytes(memory.tary[s.tary_lo:s.tary_hi]),
+                     bytes(memory.bary[4 * s.site_lo:4 * s.site_hi]))
+                    for s in sharded.shards]
+
+        # Seed every shard with one committed round first.
+        warm = UpdateCoalescer(sharded, window=0)
+        for i, shard in enumerate(sharded.shards):
+            warm.submit(_request(f"w{i}", 0, shard))
+        _drain_all(warm)
+        before = bands()
+        versions = sharded.versions()
+
+        # Fault shard 1's batch mid-write (each shard's transaction
+        # takes 4 steps; skip=5 lands on shard 1's second step);
+        # shards 0 and 2 commit.
+        plane = FaultPlane(seed=0).arm("service.commit.step", skip=5,
+                                       count=1)
+        coalescer = UpdateCoalescer(sharded, window=0, batch=1,
+                                    fault_plane=plane)
+        requests = [_request(f"t{i}", 1, shard)
+                    for i, shard in enumerate(sharded.shards)]
+        for request in requests:
+            coalescer.submit(request)
+        _drain_all(coalescer)
+        after = bands()
+
+        assert requests[1].status == FAILED
+        assert after[1] == before[1]                    # byte-identical
+        assert sharded.versions()[1] == versions[1]
+        for index in (0, 2):
+            assert requests[index].status == COMMITTED
+            assert after[index] != before[index]        # really committed
+            assert sharded.versions()[index] == versions[index] + 1
+            # ... and exactly what a clean rebuild of the shard's
+            # bookkeeping would store: no stray bytes rode the fault.
+            shard = sharded.shards[index]
+            expected_tary = bytearray(shard.tary_hi - shard.tary_lo)
+            for address, ecn in shard.tables.tary_ecns.items():
+                word = pack_id(ecn, shard.tables.version)
+                offset = address - shard.tary_lo
+                expected_tary[offset:offset + 4] = \
+                    word.to_bytes(4, "little")
+            assert after[index][0] == bytes(expected_tary)
 
     def test_failed_shard_does_not_block_later_rounds(self):
         sharded = ShardedIdTables(shards=1)
