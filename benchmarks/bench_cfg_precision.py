@@ -26,7 +26,8 @@ from repro.metrics.air import air_of_policy
 from repro.metrics.cfgstats import profile
 from repro.mir.lowering import lower_unit
 from repro.runtime.runtime import Runtime
-from repro.toolchain import compile_and_link, frontend
+from repro.build import build_program
+from repro.toolchain import frontend
 from repro.workloads.spec import BENCHMARKS, workload
 
 
@@ -51,8 +52,9 @@ def _collect(names, dynamic):
     rows = {}
     for name in names:
         sources = {name: workload(name).source}
-        base = compile_and_link(sources, mcfi=True)
-        opt = compile_and_link(sources, mcfi=True, optimize=True)
+        base = build_program(sources, mcfi=True).program
+        opt = build_program(sources, mcfi=True,
+                            devirtualize=True).program
         verify_module(opt.module)   # rewritten modules still verify
 
         devirt = len(devirtualize_module(
@@ -132,8 +134,8 @@ def test_devirtualization_speed(benchmark):
 def test_class_size_median_sanity():
     """Median/max class sizes come from the same spread the ablation
     bench reports — sanity-check the two agree for one workload."""
-    program = compile_and_link(
-        {"bzip2": workload("bzip2").source}, mcfi=True)
+    program = build_program(
+        {"bzip2": workload("bzip2").source}, mcfi=True).program
     aux = program.module.aux
     prof = profile(aux, generate_cfg(aux))
     sizes = {}

@@ -11,6 +11,7 @@ load, but hits/misses are deterministic.
 """
 
 import tempfile
+import time
 from pathlib import Path
 
 from benchmarks.conftest import selected_benchmarks, write_result
@@ -56,3 +57,49 @@ def test_infra_cache_warm_rebuild(benchmark):
             f"{counts['programs']} programs",
         ]
         write_result("infra_cache", "\n".join(lines))
+
+
+def test_unit_grain_cache_and_pool(benchmark):
+    """Function-grain ``repro.build`` economics under the campaign lens:
+    a second *cold* build in a fresh session recompiles nothing (all
+    unit hits), and a pool-parallel cold build fans dirty units out
+    while staying byte-identical to the serial one."""
+    from repro.build import build_program as unit_build
+    from repro.infra.pool import WorkerPool
+    from repro.workloads.spec import workload
+
+    name = "gcc"
+    source = workload(name).source
+
+    def cell():
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = ArtifactCache(Path(tmp) / "cache")
+            start = time.perf_counter()
+            first = unit_build({name: source}, cache=cache)
+            cold_s = time.perf_counter() - start
+            start = time.perf_counter()
+            second = unit_build({name: source}, cache=cache)
+            hit_s = time.perf_counter() - start
+            pooled = unit_build({name: source},
+                                pool=WorkerPool(workers=4))
+            return first, second, pooled, cold_s, hit_s
+
+    first, second, pooled, cold_s, hit_s = benchmark.pedantic(
+        cell, rounds=1, iterations=1)
+    assert second.stats["unit_hits"] == second.stats["units"]
+    assert second.stats["unit_compiled"] == 0
+    assert pooled.stats["unit_parallel"] > 0
+    assert pooled.program.module.code == first.program.module.code
+    assert pooled.program.data.image == first.program.data.image
+    lines = [
+        f"unit-grain build cache, workload {name} "
+        f"({first.stats['units']} units)",
+        f"cold build (empty cache):   {cold_s * 1000:8.2f} ms, "
+        f"{first.stats['unit_compiled']} units compiled",
+        f"cold build (unit hits):     {hit_s * 1000:8.2f} ms, "
+        f"{second.stats['unit_hits']} cache hits, 0 compiled",
+        f"pool build (4 workers):     "
+        f"{pooled.stats['unit_parallel']} units via pool, "
+        "image byte-identical to serial",
+    ]
+    write_result("infra_units", "\n".join(lines))

@@ -15,7 +15,7 @@ import pytest
 from benchmarks.conftest import write_result
 from repro.runtime.jit import JitEngine
 from repro.runtime.runtime import Runtime
-from repro.toolchain import compile_and_link
+from repro.build import build_program
 
 
 def guest_source(n_installs: int, calls_between: int) -> str:
@@ -50,7 +50,7 @@ int main(void) {{
 def test_install_rate_scaling(benchmark, n_installs, calls):
     """Same total indirect-call work, increasing install rates."""
     source = guest_source(n_installs, calls)
-    program = compile_and_link({"main": source}, mcfi=True)
+    program = build_program({"main": source}, mcfi=True).program
 
     def run():
         runtime = Runtime(program)
@@ -69,8 +69,8 @@ def test_install_rate_scaling(benchmark, n_installs, calls):
 def test_jit_throughput_table(benchmark):
     """Installations per second through the full verified pipeline."""
     import time
-    program = compile_and_link({"main": "int main(void){ return 0; }"},
-                               mcfi=True)
+    program = build_program({"main": "int main(void){ return 0; }"},
+                            mcfi=True).program
     lines = [f"{'installs':>9s} {'total s':>8s} {'ms/install':>11s} "
              f"{'verified':>9s}"]
 

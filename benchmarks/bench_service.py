@@ -106,6 +106,43 @@ def test_service_quick_coalescing_floor():
     assert report.escalations == 0
 
 
+def test_dlopen_churn_compile_latency():
+    """The PR 8 service cell: each dlopen churn event re-compiles the
+    tenant's (edited) module, legacy vs session.  The legacy path pays
+    a cold ``build_program`` per event; a per-tenant
+    :class:`repro.build.BuildSession` turns the steady state into
+    incremental single-unit rebuilds — the compile must stop dominating
+    the churn budget."""
+    from statistics import mean
+
+    from repro.service.tenancy import churn_compile_latencies
+
+    tenants, rounds = 2, 3
+    legacy = churn_compile_latencies(tenants, rounds, legacy=True)
+    session = churn_compile_latencies(tenants, rounds)
+
+    assert legacy["kinds"] == {"cold": tenants * rounds}
+    assert session["kinds"].get("cold") == tenants
+    assert (session["kinds"].get("incremental", 0)
+            + session["kinds"].get("warm", 0)) == tenants * (rounds - 1)
+
+    # Steady state: every event after the fleet's first (cold) round.
+    legacy_mean = mean(legacy["seconds"][tenants:])
+    steady_mean = mean(session["seconds"][tenants:])
+    speedup = legacy_mean / steady_mean if steady_mean else float("inf")
+    lines = [
+        f"dlopen churn compile latency, {tenants} tenants x "
+        f"{rounds} rounds (steady state excludes the cold round)",
+        f"legacy  (cold build_program/event): "
+        f"{legacy_mean * 1000:8.2f} ms/event",
+        f"session (incremental BuildSession): "
+        f"{steady_mean * 1000:8.2f} ms/event",
+        f"speedup: {speedup:.1f}x",
+    ]
+    write_result("service_churn_compile", "\n".join(lines))
+    assert speedup >= 5.0, "\n".join(lines)
+
+
 # -- script entry point (CI service-smoke job) ------------------------------
 
 

@@ -34,10 +34,10 @@ def test_space_table(benchmark):
 
 def test_link_speed(benchmark):
     """Static linking time of one full workload + libc."""
-    from repro.toolchain import compile_and_link
+    from repro.build import build_program
     from repro.workloads.spec import workload
     source = {"libquantum": workload("libquantum").source}
     program = benchmark.pedantic(
-        lambda: compile_and_link(source, mcfi=True),
+        lambda: build_program(source, mcfi=True).program,
         rounds=2, iterations=1)
     assert program.module.size > 0

@@ -1,23 +1,152 @@
-"""Toolchain pipeline benchmarks: per-stage cost of the compiler.
+"""Toolchain benchmarks: stage profile + incremental rebuild economics.
 
-Not a paper artifact, but the reproduction's own engineering profile:
-where the TinyC -> loaded-program pipeline spends its time, stage by
-stage, on a mid-sized workload.  Useful when extending the compiler.
+Two cells:
+
+* **stage breakdown** — where the TinyC -> loaded-program pipeline
+  spends its time, stage by stage (engineering profile, not a paper
+  artifact);
+* **incremental rebuild table** — the PR 8 tentpole artifact: one
+  :class:`repro.build.BuildSession` per workload, timing the cold
+  build, a warm (no-op) rebuild, and single-function body-edit
+  rebuilds.  Every rebuilt image must be byte-identical to a cold
+  build of the same source, and the steady-state incremental rebuild
+  must be >= 20x faster than cold.  The measured table lands in
+  ``benchmarks/results/toolchain_incremental.txt``.
+
+Runnable two ways:
+
+- under pytest (tier-1: ``python -m pytest benchmarks/bench_toolchain.py``),
+- ``bench_toolchain.py --quick`` — the CI ``build-smoke`` job: one
+  workload asserting the warm rebuild is >= 2x faster than cold and
+  that two independent sessions produce ``cmp``-identical artifacts
+  (the deterministic-build property, checked byte for byte).
 """
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # script invocation (CI smoke job)
+    _root = Path(__file__).resolve().parents[1]
+    for entry in (str(_root), str(_root / "src")):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+import re
+import statistics
+import time
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import selected_benchmarks, write_result
+from repro.build import BuildSession, build_program
 from repro.workloads.spec import workload
 
+#: Single-function-edit rebuilds timed per workload; sources alternate
+#: between the original and the edited text, so after the first pair
+#: every rebuild exercises the steady-state (body-memo + splice) path.
+EDIT_ROUNDS = 6
 
-@pytest.fixture(scope="module")
-def source():
-    return workload("sjeng").source
+_LITERAL_RE = re.compile(r"(?<![\w.])(\d+)(?![\w.])")
 
 
-def test_stage_breakdown(benchmark, source):
-    import time
+def edit_one_function(source):
+    """``source`` with one integer literal inside one function body
+    bumped — a single-function body edit that still compiles."""
+    from repro.build.source_index import index_source
+    from repro.toolchain import frontend
+    spans = index_source(source)
+    for span in spans or ():
+        if span.kind != "func":
+            continue
+        for match in _LITERAL_RE.finditer(span.body):
+            body = (span.body[:match.start()]
+                    + str(int(match.group(1)) + 1)
+                    + span.body[match.end():])
+            candidate = source.replace(span.text, span.head + body, 1)
+            try:
+                frontend(candidate, name="edit")
+            except Exception:  # noqa: BLE001 — try the next literal
+                continue
+            return candidate
+    raise RuntimeError("no safe single-function edit found")
+
+
+def _image(program):
+    return (bytes(program.module.code), bytes(program.data.image),
+            program.entry)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def measure_workload(name):
+    """Cold/warm/incremental timings + byte-identity for one workload."""
+    source = workload(name).source
+    edited = edit_one_function(source)
+    session = BuildSession()
+
+    cold_s, result = _timed(lambda: session.build({name: source}))
+    assert result.kind == "cold"
+    warm_s, result = _timed(lambda: session.build({name: source}))
+    assert result.kind == "warm"
+
+    edit_seconds = []
+    for round_index in range(EDIT_ROUNDS):
+        text = edited if round_index % 2 == 0 else source
+        seconds, result = _timed(lambda t=text: session.build({name: t}))
+        assert result.kind == "incremental", (name, result.kind)
+        edit_seconds.append(seconds)
+    final = result.program
+
+    identical = _image(final) == _image(
+        build_program({name: source}).program)
+    incr_s = statistics.median(edit_seconds)
+    return {
+        "name": name,
+        "cold_ms": cold_s * 1000,
+        "warm_ms": warm_s * 1000,
+        "first_edit_ms": edit_seconds[0] * 1000,
+        "incr_ms": incr_s * 1000,
+        "incr_x": cold_s / incr_s if incr_s else float("inf"),
+        "identical": identical,
+    }
+
+
+def render_table(rows):
+    lines = [
+        "incremental rebuild vs cold build, one BuildSession per workload",
+        f"(median of {EDIT_ROUNDS} single-function body-edit rebuilds; "
+        "'identical' = byte-equal to a cold build of the same source)",
+        "",
+        f"{'workload':12s} {'cold ms':>9s} {'warm ms':>9s} "
+        f"{'1st edit':>9s} {'incr ms':>9s} {'speedup':>9s} {'identical':>10s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['name']:12s} {row['cold_ms']:9.2f} {row['warm_ms']:9.3f} "
+            f"{row['first_edit_ms']:9.2f} {row['incr_ms']:9.2f} "
+            f"{row['incr_x']:8.1f}x {'yes' if row['identical'] else 'NO':>10s}")
+    return "\n".join(lines)
+
+
+def test_incremental_rebuild_table(benchmark):
+    """The headline artifact: >= 20x single-function incremental win."""
+    names = selected_benchmarks()
+    rows = benchmark.pedantic(
+        lambda: [measure_workload(name) for name in names],
+        rounds=1, iterations=1)
+    table = render_table(rows)
+    write_result("toolchain_incremental", table)
+    assert all(row["identical"] for row in rows), table
+    worst = min(row["incr_x"] for row in rows)
+    assert worst >= 20.0, \
+        f"worst incremental speedup {worst:.1f}x < 20x\n{table}"
+
+
+def test_stage_breakdown(benchmark):
     from repro.core.instrument import instrument_items
     from repro.isa.assembler import assemble
     from repro.mir.codegen import generate
@@ -27,7 +156,7 @@ def test_stage_breakdown(benchmark, source):
     from repro.tinyc.typecheck import check
     from repro.toolchain import BUILTIN_PRELUDE
 
-    text = BUILTIN_PRELUDE + source
+    text = BUILTIN_PRELUDE + workload("sjeng").source
 
     def pipeline():
         timings = {}
@@ -75,20 +204,76 @@ def test_stage_breakdown(benchmark, source):
     assert total < 5.0
 
 
-def test_full_compile_link(benchmark, source):
-    from repro.toolchain import compile_and_link
-
-    program = benchmark.pedantic(
-        lambda: compile_and_link({"sjeng": source}, mcfi=True),
-        rounds=2, iterations=1)
-    benchmark.extra_info["code_bytes"] = len(program.module.code)
-    benchmark.extra_info["branch_sites"] = \
-        len(program.module.aux.branch_sites)
-
-
 def test_verifier_speed(benchmark):
     from repro.core.verifier import verify_module
     from repro.experiments import compiled
     module = compiled("sjeng", "x64", True).module
     stats = benchmark(lambda: verify_module(module))
     assert stats["checked_branches"] > 0
+
+
+# -- script entry point (CI build-smoke job) --------------------------------
+
+
+def _quick(name="lbm"):
+    import filecmp
+    import tempfile
+
+    from repro.tools.build import artifact_hash
+
+    source = workload(name).source
+    session = BuildSession()
+    cold_s, _ = _timed(lambda: session.build({name: source}))
+    warm_s, result = _timed(lambda: session.build({name: source}))
+    twin = build_program({name: source})
+    warm_x = cold_s / warm_s if warm_s else float("inf")
+
+    digest = artifact_hash(result.program)
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = []
+        for tag, program in (("a", result.program), ("b", twin.program)):
+            path = Path(tmp) / f"{tag}.img"
+            path.write_bytes(bytes(program.module.code)
+                             + bytes(program.data.image))
+            paths.append(path)
+        cmp_identical = filecmp.cmp(*paths, shallow=False)
+
+    print(f"{name}: cold {cold_s * 1000:.2f} ms, "
+          f"warm {warm_s * 1000:.3f} ms ({warm_x:.0f}x), "
+          f"artifact sha256 {digest[:16]}...")
+    checks = [
+        (result.kind == "warm", f"rebuild kind {result.kind!r} != 'warm'"),
+        (warm_x >= 2.0, f"warm rebuild only {warm_x:.1f}x < 2x faster"),
+        (cmp_identical, "independent builds differ under cmp"),
+        (digest == artifact_hash(twin.program),
+         "artifact hash differs across sessions"),
+    ]
+    failed = [message for ok, message in checks if not ok]
+    for message in failed:
+        print(f"FAIL: {message}")
+    return 1 if failed else 0
+
+
+def _main(argv):
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: warm >= 2x cold + deterministic "
+                             "artifact bytes")
+    args = parser.parse_args(argv)
+    if args.quick:
+        return _quick()
+
+    rows = [measure_workload(name) for name in selected_benchmarks()]
+    table = render_table(rows)
+    print(table)
+    write_result("toolchain_incremental", table)
+    worst = min(row["incr_x"] for row in rows)
+    if not all(row["identical"] for row in rows) or worst < 20.0:
+        print(f"FAIL: worst speedup {worst:.1f}x or image divergence")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main(sys.argv[1:]))

@@ -20,7 +20,9 @@ Quickstart::
 
 Main entry points:
 
-* :func:`repro.toolchain.compile_module` — TinyC -> instrumentable module
+* :class:`repro.build.BuildSession` — incremental compile-as-a-service
+  (the public compile surface; ``repro.toolchain`` shims over it)
+* :func:`repro.build.compile_object` — TinyC -> instrumentable module
 * :func:`repro.linker.static_linker.link` — separate-compilation linking
 * :class:`repro.runtime.runtime.Runtime` — load + execute (MCFI enforced)
 * :class:`repro.linker.dynamic_linker.DynamicLinker` — dlopen support
@@ -36,6 +38,13 @@ from repro.toolchain import (
     compile_module,
     frontend,
     run_program,
+)
+from repro.build import (
+    BuildGraph,
+    BuildResult,
+    BuildSession,
+    build_program,
+    compile_object,
 )
 from repro.runtime.runtime import Runtime, RunResult
 from repro.linker.static_linker import LinkedProgram, link
@@ -54,6 +63,8 @@ from repro.errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BuildGraph", "BuildResult", "BuildSession", "build_program",
+    "compile_object",
     "compile_and_link", "compile_and_run", "compile_module", "frontend",
     "run_program",
     "Runtime", "RunResult",

@@ -17,7 +17,7 @@ from typing import Dict, Optional
 
 from repro.baselines.policies import bincfi_policy
 from repro.errors import CfiViolation
-from repro.toolchain import compile_and_link
+from repro.build import build_program
 from repro.runtime.runtime import Runtime
 from repro.vm.cpu import CPU, ProgramExit
 
@@ -119,8 +119,8 @@ def fptr_to_execve(schemes=("native", "binCFI", "MCFI"),
     outcomes: Dict[str, AttackOutcome] = {}
     for scheme in schemes:
         mcfi = scheme != "native"
-        program = compile_and_link({"victim": FPTR_VICTIM_SOURCE},
-                                   mcfi=mcfi)
+        program = build_program({"victim": FPTR_VICTIM_SOURCE},
+                                mcfi=mcfi).program
         handler_slot = program.data.symbols["handler"]
         execve_entry = program.labels["execve_sim"]
 
@@ -147,8 +147,8 @@ def return_to_secret(schemes=("native", "binCFI", "MCFI"),
     outcomes: Dict[str, AttackOutcome] = {}
     for scheme in schemes:
         mcfi = scheme != "native"
-        program = compile_and_link({"victim": RETURN_VICTIM_SOURCE},
-                                   mcfi=mcfi)
+        program = build_program({"victim": RETURN_VICTIM_SOURCE},
+                                mcfi=mcfi).program
         secret_entry = program.labels["secret"]
         code_base = program.module.base
         code_limit = program.module.limit

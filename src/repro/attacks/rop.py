@@ -14,7 +14,7 @@ from typing import List, Optional
 
 from repro.attacks.gadgets import find_gadgets
 from repro.errors import CfiViolation, MemoryFault, VMError
-from repro.toolchain import compile_and_link
+from repro.build import build_program
 from repro.runtime.runtime import Runtime
 from repro.vm.cpu import ProgramExit
 
@@ -68,7 +68,8 @@ def return_pivot(scheme: str = "native", seed: int = 3,
                  max_ticks: int = 2_000_000) -> RopOutcome:
     """Corrupt return addresses toward a gadget; observe the outcome."""
     mcfi = scheme != "native"
-    program = compile_and_link({"victim": ROP_VICTIM_SOURCE}, mcfi=mcfi)
+    program = build_program({"victim": ROP_VICTIM_SOURCE},
+                            mcfi=mcfi).program
     module = program.module
     from repro.isa.disasm import sweep_ranges
     starts = {d.address for d in

@@ -1,0 +1,548 @@
+"""Unit-splicing linker: place cached function units, patch relocations,
+merge metadata — byte-identical to the monolithic static linker.
+
+The monolithic path (:mod:`repro.linker.static_linker`) instruments and
+assembles every module's full item stream on every link.  This linker
+consumes pre-assembled :class:`~repro.build.units.UnitArtifact` bodies
+instead: placement is a cursor walk (each body starts at the next
+``lead_align``-aligned address, padded with the same NOPs the monolithic
+``Align`` directive would emit), resolution is one dict, and patching
+writes the recorded relocation holes.  A rebuild that changed one
+function re-patches one unit and re-concatenates — the incremental
+re-link the paper's dlopen-churn story needs.
+
+Byte-compatibility invariants (exercised by the differential tests):
+
+* unit bodies are assembled at base 0 and placed 4-aligned, so all
+  intra-unit padding and displacements match the monolithic layout;
+* string relocations are content-addressed and the module string table
+  is renumbered here by replaying each scope's lowering-time reference
+  list through a fresh interner — reproducing cold ``sid`` numbering
+  even after single-function edits add or drop literals;
+* static-collision renaming (``{module}${name}``) happens at the
+  metadata level only: label names never affect image bytes, so cached
+  units stay name-stable across programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from types import SimpleNamespace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.build.units import NOP, UnitArtifact, assemble_plt_unit
+from repro.core.instrument import build_plt
+from repro.errors import AssemblerError, LinkError
+from repro.isa.assembler import Label
+from repro.linker.static_linker import (
+    LinkedProgram,
+    build_data_image,
+    layout_data,
+)
+from repro.mir import ir
+from repro.module.auxinfo import (
+    AuxInfo,
+    BranchSiteAux,
+    FunctionAux,
+    RetSiteAux,
+)
+from repro.module.module import DataLayout, McfiModule
+from repro.vm.memory import CODE_BASE, DATA_BASE, PAGE_SIZE
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass
+class ModuleUnits:
+    """One module's link input: ordered function units + its data."""
+
+    name: str
+    arch: str
+    units: List[UnitArtifact]
+    globals: Dict[str, ir.GlobalData] = field(default_factory=dict)
+    #: per-scope ordered string references from lowering ('' = global
+    #: initializers, else function name).  The link replays these — not
+    #: the units' referenced-content lists — because cold ``sid``
+    #: numbering includes strings whose code was pruned as unreachable;
+    #: replaying reproduces the cold data layout exactly.
+    intern_refs: Dict[str, List[bytes]] = field(default_factory=dict)
+    #: function names whose address is taken at top level
+    global_takes: Tuple[str, ...] = ()
+
+    def unit(self, fn: str) -> UnitArtifact:
+        for unit in self.units:
+            if unit.fn == fn:
+                return unit
+        raise KeyError(fn)
+
+
+@dataclass
+class UnitFrag:
+    """One placed, patched unit plus its precomputed aux fragments."""
+
+    key: Tuple[int, str]              # (module index, fn); (-1, '__plt')
+    unit: UnitArtifact
+    module_name: str
+    pad: int
+    base: int                         # absolute address of the body
+    site_base: int                    # global number of local site 0
+    code: bytes                       # patched body (pad not included)
+    labels: Dict[str, int]            # renamed label -> absolute address
+    bary: Dict[int, int]              # global site -> offset from code base
+    n_sites: int = 0
+    retsites: List[RetSiteAux] = field(default_factory=list)
+    branch_sites: List[BranchSiteAux] = field(default_factory=list)
+    data_ranges: List[Tuple[int, int]] = field(default_factory=list)
+    setjmp_resume_addrs: List[int] = field(default_factory=list)
+    # renamed metadata
+    fn_name: str = ""
+    direct_calls: List[Tuple[str, str, bool]] = field(default_factory=list)
+    takes: Tuple[str, ...] = ()
+    referenced: Tuple[str, ...] = ()
+
+
+@dataclass
+class LinkState:
+    """Everything needed to re-finalize a program after a unit splice."""
+
+    modules: List[ModuleUnits]
+    mcfi: bool
+    code_base: int
+    data_base: int
+    entry_symbol: str
+    allow_unresolved: Tuple[str, ...]
+    renames: List[Dict[str, str]] = field(default_factory=list)
+    frags: List[UnitFrag] = field(default_factory=list)
+    resolve: Dict[str, int] = field(default_factory=dict)
+    layout: Optional[DataLayout] = None
+    #: per-module content -> absolute string address
+    string_addr: List[Dict[bytes, int]] = field(default_factory=list)
+    imports: List[str] = field(default_factory=list)
+    dynamic_symbols: List[str] = field(default_factory=list)
+    got_names: Dict[str, str] = field(default_factory=dict)
+    #: per-module RawModule stand-ins (name/strings/globals) for the
+    #: data layout and image builders
+    raw_likes: List[object] = field(default_factory=list)
+    program: Optional[LinkedProgram] = None
+
+
+def _renamer(rmap: Dict[str, str]) -> Callable[[str], str]:
+    """Prefix-aware label renamer matching the static linker's rule:
+    rename exact matches and ``old.``-prefixed block/table labels."""
+    if not rmap:
+        return lambda label: label
+
+    def rn(label: str) -> str:
+        head, sep, rest = label.partition(".")
+        new = rmap.get(head)
+        if new is None:
+            return label
+        return new + sep + rest
+
+    return rn
+
+
+def _compute_renames(modules: Sequence[ModuleUnits]) -> List[Dict[str, str]]:
+    """Replicate ``_resolve_static_collisions`` at the metadata level."""
+    renames: List[Dict[str, str]] = [{} for _ in modules]
+    owner: Dict[str, Tuple[int, UnitArtifact]] = {}
+    for index, module in enumerate(modules):
+        for unit in module.units:
+            name = unit.fn
+            if name not in owner:
+                owner[name] = (index, unit)
+                continue
+            other_index, other = owner[name]
+            if not unit.exported:
+                renames[index][name] = f"{module.name}${name}"
+            elif not other.exported:
+                renames[other_index][name] = \
+                    f"{modules[other_index].name}${name}"
+                owner[name] = (index, unit)
+            # two exported definitions: reported by the merge below
+    return renames
+
+
+def _module_imports(modules: Sequence[ModuleUnits],
+                    renames: List[Dict[str, str]],
+                    defined: Dict[str, Tuple[int, UnitArtifact]]) -> List[str]:
+    referenced: set = set()
+    for index, module in enumerate(modules):
+        rmap = renames[index]
+        for unit in module.units:
+            referenced.update(rmap.get(n, n) for n in unit.referenced)
+        for data in module.globals.values():
+            for _, kind, symbol in data.relocs:
+                if kind == "func":
+                    referenced.add(rmap.get(symbol, symbol))
+    return sorted(name for name in referenced if name not in defined)
+
+
+def link_units(modules: List[ModuleUnits], mcfi: bool = True,
+               code_base: int = CODE_BASE, data_base: int = DATA_BASE,
+               entry_symbol: str = "_start",
+               allow_unresolved: Optional[List[str]] = None) -> LinkState:
+    """Full unit-level link: place every unit, patch, finalize."""
+    if not modules:
+        raise LinkError("nothing to link")
+    if not mcfi:
+        raise LinkError("the unit-splicing linker is MCFI-only; native "
+                        "builds go through the monolithic path")
+    arch = modules[0].arch
+    if any(m.arch != arch for m in modules):
+        raise LinkError("cannot mix x32 and x64 modules")
+
+    state = LinkState(modules=modules, mcfi=mcfi, code_base=code_base,
+                      data_base=data_base, entry_symbol=entry_symbol,
+                      allow_unresolved=tuple(allow_unresolved or ()))
+    state.renames = _compute_renames(modules)
+
+    defined: Dict[str, Tuple[int, UnitArtifact]] = {}
+    for index, module in enumerate(modules):
+        rmap = state.renames[index]
+        for unit in module.units:
+            new = rmap.get(unit.fn, unit.fn)
+            if new in defined:
+                raise LinkError(f"multiple definitions of {new!r}")
+            defined[new] = (index, unit)
+
+    state.imports = _module_imports(modules, state.renames, defined)
+    allow = set(state.allow_unresolved)
+    state.dynamic_symbols = [i for i in state.imports if i in allow]
+    unresolved = [i for i in state.imports if i not in allow]
+    if unresolved:
+        raise LinkError(f"unresolved symbols: {', '.join(unresolved)}")
+
+    # PLT pseudo-unit for dynamically bound imports.
+    state.got_names = {sym: f"__got.{sym}" for sym in state.dynamic_symbols}
+    plt_unit = None
+    if state.dynamic_symbols:
+        plt_asm = build_plt(state.dynamic_symbols, state.got_names)
+        aliased = []
+        for item in plt_asm.items:
+            if isinstance(item, Label) and item.name.startswith("__plt."):
+                aliased.append(Label(item.name[len("__plt."):]))
+            aliased.append(item)
+        plt_unit = assemble_plt_unit(aliased, plt_asm.sites)
+
+    _layout_strings_and_data(state)
+
+    # Placement: cursor walk over every unit (then the PLT).
+    placements: List[Tuple[Tuple[int, str], UnitArtifact, Dict[str, str]]] = []
+    for index, module in enumerate(modules):
+        for unit in module.units:
+            placements.append(((index, unit.fn), unit, state.renames[index]))
+    if plt_unit is not None:
+        placements.append(((-1, "__plt"), plt_unit, {}))
+
+    cursor = code_base
+    site_base = 0
+    placed = []
+    for key, unit, rmap in placements:
+        pad = (-cursor) % unit.lead_align
+        base = cursor + pad
+        placed.append((key, unit, rmap, pad, base, site_base))
+        cursor = base + unit.size
+        site_base += len(unit.sites)
+
+    # Resolution map: data symbols first, code labels shadow them.
+    resolve = dict(state.layout.symbols)
+    for key, unit, rmap, pad, base, sbase in placed:
+        rn = _renamer(rmap)
+        for name, off in unit.labels.items():
+            resolve[rn(name)] = base + off
+    state.resolve = resolve
+
+    state.frags = [
+        _build_frag(state, key, unit, rmap, pad, base, sbase)
+        for key, unit, rmap, pad, base, sbase in placed]
+    _finalize(state)
+    return state
+
+
+def _layout_strings_and_data(state: LinkState) -> None:
+    """Renumber each module's string table and lay out the data region.
+
+    Replaying the ordered per-scope reference lists (globals first, then
+    units in definition order) through a fresh interner reproduces the
+    lowering-time ``sid`` numbering exactly — including after an edit
+    added or removed literals in one function.
+    """
+    raw_likes = []
+    state.string_addr = []
+    for index, module in enumerate(state.modules):
+        interner: Dict[bytes, int] = {}
+        ordered: List[bytes] = []
+
+        def intern(content: bytes) -> None:
+            if content not in interner:
+                interner[content] = len(ordered)
+                ordered.append(content)
+
+        for content in module.intern_refs.get("", ()):
+            intern(content)
+        for unit in module.units:
+            for content in module.intern_refs.get(unit.fn, ()):
+                intern(content)
+            for content in unit.strings:  # safety net: cached units must
+                intern(content)           # always resolve their 'S' relocs
+        strings = {f"{module.name}.str{sid}": content
+                   for sid, content in enumerate(ordered)}
+        rmap = state.renames[index]
+        globals_eff = module.globals
+        if rmap:
+            globals_eff = {
+                name: replace(data, relocs=[
+                    (off, kind,
+                     rmap.get(sym, sym) if kind == "func" else sym)
+                    for off, kind, sym in data.relocs])
+                for name, data in module.globals.items()}
+        raw_likes.append(SimpleNamespace(name=module.name, strings=strings,
+                                         globals=globals_eff))
+        state.string_addr.append(interner)  # indices for now; addresses below
+
+    state.layout = layout_data(raw_likes, base=state.data_base,
+                               got_names=state.got_names)
+    for index, module in enumerate(state.modules):
+        interner = state.string_addr[index]
+        state.string_addr[index] = {
+            content: state.layout.symbols[f"{module.name}.str{sid}"]
+            for content, sid in interner.items()}
+    state.raw_likes = raw_likes
+
+
+def _build_frag(state: LinkState, key: Tuple[int, str], unit: UnitArtifact,
+                rmap: Dict[str, str], pad: int, base: int,
+                site_base: int) -> UnitFrag:
+    rn = _renamer(rmap)
+    module_index = key[0]
+    module_name = state.modules[module_index].name if module_index >= 0 \
+        else "__plt"
+    str_addr = state.string_addr[module_index] if module_index >= 0 else {}
+    resolve = state.resolve
+
+    labels = {rn(name): base + off for name, off in unit.labels.items()}
+
+    body = bytearray(unit.code)
+    for field_off, kind, ref, extra in unit.relocs:
+        if ref[0] == "S":
+            target = str_addr[unit.strings[ref[1]]]
+        else:
+            name = rn(ref[1])
+            target = resolve.get(name)
+            if target is None:
+                raise AssemblerError(f"undefined label {name!r}")
+        if kind == "rel32":
+            value = (target - (base + extra)) & _MASK32
+            body[field_off:field_off + 4] = value.to_bytes(4, "little")
+        elif kind == "abs32":
+            body[field_off:field_off + 4] = \
+                (target & _MASK32).to_bytes(4, "little")
+        else:  # abs64 | word — 8-byte absolute
+            body[field_off:field_off + 8] = \
+                (target & _MASK64).to_bytes(8, "little")
+
+    frag = UnitFrag(key=key, unit=unit, module_name=module_name, pad=pad,
+                    base=base, site_base=site_base, code=bytes(body),
+                    labels=labels, bary={}, n_sites=len(unit.sites),
+                    fn_name=rmap.get(unit.fn, unit.fn))
+
+    code_off = base - state.code_base
+    frag.bary = {site_base + local: code_off + off
+                 for local, off in unit.bary_slots}
+
+    # Aux fragments (addresses absolute, site numbers global).
+    for mark_kind, info, off in unit.marks:
+        if mark_kind == "retsite":
+            if len(info) == 3:
+                caller, callee, sig = info
+            else:
+                caller, callee = info
+                sig = None
+            frag.retsites.append(RetSiteAux(
+                address=base + off,
+                caller=rmap.get(caller, caller) if caller else caller,
+                callee=rmap.get(callee, callee) if callee else callee,
+                sig=sig))
+    jt_starts = {}
+    for mark_kind, info, off in unit.marks:
+        if mark_kind == "jt_start":
+            jt_starts[rn(info)] = base + off
+        elif mark_kind == "jt_end":
+            frag.data_ranges.append((jt_starts[rn(info)], base + off))
+    for site in unit.sites:
+        frag.branch_sites.append(BranchSiteAux(
+            site=site_base + site.site, kind=site.kind,
+            fn=rmap.get(site.fn, site.fn),
+            sig=site.sig,
+            targets=tuple(labels[rn(t)] for t in site.targets),
+            plt_symbol=site.plt_symbol,
+            ptargets=tuple(rmap.get(t, t) for t in site.ptargets)))
+    frag.setjmp_resume_addrs = [labels[rn(l)] for l in unit.setjmp_resumes]
+    frag.direct_calls = [
+        (rmap.get(cr, cr), rmap.get(ce, ce), tail)
+        for cr, ce, tail in unit.direct_calls]
+    frag.takes = tuple(rmap.get(t, t) for t in unit.takes)
+    frag.referenced = tuple(rmap.get(t, t) for t in unit.referenced)
+    return frag
+
+
+def _finalize(state: LinkState) -> LinkedProgram:
+    """Concatenate fragments into the final :class:`LinkedProgram`."""
+    code = bytearray()
+    labels: Dict[str, int] = {}
+    bary: Dict[int, int] = {}
+    aux = AuxInfo()
+    n_sites = 0
+
+    for frag in state.frags:
+        code += NOP * frag.pad
+        code += frag.code
+        labels.update(frag.labels)
+        bary.update(frag.bary)
+        aux.retsites.extend(frag.retsites)
+        aux.branch_sites.extend(frag.branch_sites)
+        aux.data_ranges.extend(frag.data_ranges)
+        aux.setjmp_resumes.extend(frag.setjmp_resume_addrs)
+        aux.direct_calls.extend(frag.direct_calls)
+        n_sites += frag.n_sites
+
+    taken: set = set()
+    for index, module in enumerate(state.modules):
+        rmap = state.renames[index]
+        taken.update(rmap.get(t, t) for t in module.global_takes)
+        for data in module.globals.values():
+            for _, kind, symbol in data.relocs:
+                if kind == "func":
+                    taken.add(rmap.get(symbol, symbol))
+    for frag in state.frags:
+        taken.update(frag.takes)
+
+    seen_globals: set = set()
+    for module in state.modules:
+        for gname in module.globals:
+            if gname in seen_globals:
+                raise LinkError(f"multiple definitions of global {gname!r}")
+            seen_globals.add(gname)
+
+    for frag in state.frags:
+        if frag.key[0] < 0:
+            continue
+        unit = frag.unit
+        entry = labels[frag.fn_name]
+        aux.functions[frag.fn_name] = FunctionAux(
+            name=frag.fn_name, sig=unit.sig, entry=entry,
+            address_taken=frag.fn_name in taken, exported=unit.exported,
+            module=frag.module_name)
+        if unit.exported:
+            aux.exports[frag.fn_name] = entry
+
+    aux.imports = list(state.imports)
+    aux.data_ranges.sort()
+
+    name = "+".join(m.name for m in state.modules)
+    base = state.code_base
+    code_bytes = bytes(code)
+    code_ranges: List[Tuple[int, int]] = []
+    cursor = base
+    end = base + len(code_bytes)
+    for start, stop in aux.data_ranges:
+        if start > cursor:
+            code_ranges.append((cursor, start))
+        cursor = max(cursor, stop)
+    if cursor < end:
+        code_ranges.append((cursor, end))
+
+    if state.mcfi and len(bary) != n_sites:
+        raise ValueError(
+            f"{name}: {n_sites} sites but {len(bary)} patched Bary slots")
+
+    module = McfiModule(name=name, arch=state.modules[0].arch, base=base,
+                        code=code_bytes, aux=aux, bary_slots=bary,
+                        labels=labels, code_ranges=code_ranges)
+
+    layout = state.layout
+    layout.image = build_data_image(state.raw_likes, layout, labels)
+
+    entry = labels.get(state.entry_symbol)
+    if entry is None:
+        raise LinkError(f"no entry symbol {state.entry_symbol!r}")
+    heap_base = (layout.base + layout.size + PAGE_SIZE - 1) & \
+        ~(PAGE_SIZE - 1)
+    got_slots = {sym: layout.symbols[label]
+                 for sym, label in state.got_names.items()}
+    state.program = LinkedProgram(
+        arch=state.modules[0].arch, mcfi=state.mcfi, module=module,
+        data=layout, entry=entry, heap_base=heap_base,
+        parts=[m.name for m in state.modules], got_slots=got_slots)
+    return state.program
+
+
+def splice_unit(state: LinkState, module_name: str, new_unit: UnitArtifact,
+                intern_refs: Optional[List[bytes]] = None,
+                ) -> Optional[LinkedProgram]:
+    """Re-link after replacing one function's unit, reusing the layout.
+
+    ``intern_refs`` is the edited function's new lowering-time string
+    reference list (it participates in the module string table, so a
+    change invalidates the reused data layout).  Returns the new
+    program, or ``None`` when the replacement cannot be spliced in
+    place (size, alignment, string references, site count, export
+    status or import set changed) and the caller must fall back to a
+    full :func:`link_units`.
+    """
+    module_index = next((i for i, m in enumerate(state.modules)
+                         if m.name == module_name), None)
+    if module_index is None:
+        return None
+    frag_index = next((i for i, f in enumerate(state.frags)
+                       if f.key == (module_index, new_unit.fn)), None)
+    if frag_index is None:
+        return None
+    old_frag = state.frags[frag_index]
+    old_unit = old_frag.unit
+    if (new_unit.size != old_unit.size
+            or new_unit.lead_align != old_unit.lead_align
+            or new_unit.strings != old_unit.strings
+            or len(new_unit.sites) != len(old_unit.sites)
+            or new_unit.exported != old_unit.exported):
+        return None
+    if intern_refs is not None and list(intern_refs) != list(
+            state.modules[module_index].intern_refs.get(new_unit.fn, [])):
+        return None
+
+    rmap = state.renames[module_index]
+    if new_unit.fn in rmap:
+        return None  # entangled in a static-collision rename: replay fully
+
+    module = state.modules[module_index]
+    old_in_module = module.unit(new_unit.fn)
+    unit_index = module.units.index(old_in_module)
+    module.units[unit_index] = new_unit
+
+    # The import set must not change: a new unresolved reference needs
+    # the full link's error path, and added/dropped imports change the
+    # PLT (hence bytes) and the merged aux.
+    if tuple(new_unit.referenced) != tuple(old_in_module.referenced):
+        defined: Dict[str, Tuple[int, UnitArtifact]] = {}
+        for mi, mod in enumerate(state.modules):
+            for unit in mod.units:
+                defined[state.renames[mi].get(unit.fn, unit.fn)] = (mi, unit)
+        imports = _module_imports(state.modules, state.renames, defined)
+        if imports != state.imports:
+            module.units[unit_index] = old_in_module  # roll back
+            return None
+
+    # Internal labels may have moved: update the resolution map before
+    # re-patching (generated label names are deterministic per unit
+    # namespace, so same-name entries are overwritten; stale entries
+    # from removed labels are harmless).
+    rn = _renamer(rmap)
+    for lname, off in new_unit.labels.items():
+        state.resolve[rn(lname)] = old_frag.base + off
+
+    state.frags[frag_index] = _build_frag(
+        state, old_frag.key, new_unit, rmap, old_frag.pad, old_frag.base,
+        old_frag.site_base)
+    return _finalize(state)

@@ -41,6 +41,7 @@ from typing import Callable, List, Optional
 #: subcommand -> repro.tools module name (all expose ``main(argv)``)
 TOOLS = {
     "spec": "spec",
+    "build": "build",
     "infra": "infra",
     "faults": "faults",
     "obs": "obs",
@@ -97,6 +98,9 @@ def tool_argv(args: argparse.Namespace) -> List[str]:
             rest.extend([flag, str(value)])
 
     if args.command == "spec":
+        add("--jobs", args.jobs)
+        add("--cache-dir", args.cache_dir)
+    elif args.command == "build":
         add("--jobs", args.jobs)
         add("--cache-dir", args.cache_dir)
     elif args.command == "infra":

@@ -208,12 +208,22 @@ def _collect_aligned_labels(items: List[RawItem],
 
 def instrument_items(raw: RawModule) -> InstrumentedAsm:
     """Apply MCFI instrumentation to a raw module's assembly."""
-    expander = _Expander(namespace=raw.name)
     aligned = _collect_aligned_labels(raw.items, raw.functions)
-    sandbox_writes = raw.arch == "x64"
-    setjmp_resumes: List[str] = []
+    return instrument_stream(raw.items, aligned, namespace=raw.name,
+                             sandbox_writes=raw.arch == "x64")
 
-    items = raw.items
+
+def instrument_stream(items: List[RawItem], aligned: set, namespace: str,
+                      sandbox_writes: bool) -> InstrumentedAsm:
+    """Instrument one symbolic item stream (a whole module, or a single
+    function's items in the per-unit build pipeline).
+
+    ``aligned`` lists the labels that are indirect-branch targets;
+    ``namespace`` keeps generated ``__mcfi.*`` labels unique across the
+    separately instrumented streams of one image.
+    """
+    expander = _Expander(namespace=namespace)
+    setjmp_resumes: List[str] = []
     index = 0
     out = expander.items
     while index < len(items):

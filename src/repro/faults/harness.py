@@ -283,10 +283,10 @@ _LOADER_LIB = "int libfn(int x) { return x * 3 + 1; }"
 
 @lru_cache(maxsize=None)
 def _loader_artifacts():
-    from repro.toolchain import compile_and_link, compile_module
-    program = compile_and_link(_LOADER_MAIN, mcfi=True,
-                               allow_unresolved=["libfn"])
-    library = compile_module(_LOADER_LIB, name="plugin")
+    from repro.build import build_program, compile_object
+    program = build_program(_LOADER_MAIN, mcfi=True,
+                            allow_unresolved=["libfn"]).program
+    library = compile_object(_LOADER_LIB, name="plugin")
     return program, library
 
 

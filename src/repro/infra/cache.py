@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -89,10 +90,16 @@ class ArtifactCache:
 
     root: Path
     stats: CacheStats = field(default_factory=CacheStats)
+    #: total on-disk budget in MiB; ``None`` = unbounded.  When a store
+    #: pushes the cache over budget, least-recently-used entries (by
+    #: mtime, refreshed on hit) are evicted until it fits.
+    max_mb: Optional[float] = None
+
+    SUBDIRS = ("objects", "programs", "runs", "units")
 
     def __post_init__(self):
         self.root = Path(self.root)
-        for sub in ("objects", "programs", "runs"):
+        for sub in self.SUBDIRS:
             (self.root / sub).mkdir(parents=True, exist_ok=True)
 
     # -- keys --------------------------------------------------------
@@ -102,13 +109,22 @@ class ArtifactCache:
         canonical = json.dumps(parts, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
-    def object_key(self, name: str, arch: str, source: str) -> str:
-        """Key of one compiled (pre-link) module."""
+    def object_key(self, name: str, arch: str, source: str,
+                   prelude: str = "none") -> str:
+        """Key of one compiled (pre-link) module.
+
+        ``prelude`` is the digest of the implicit prelude the module was
+        compiled against (``repro.build.fingerprint.prelude_digest``).
+        It participates in the key because the prelude declarations
+        shape typechecking: two compiles of the same source differing
+        only in the ``prelude`` flag must never share an entry.
+        """
         return self._key({
             "kind": "object",
             "name": name,
             "arch": arch,
             "source": source_digest(source),
+            "prelude": prelude,
             "format": objectfile.FORMAT_VERSION,
             "toolchain": TOOLCHAIN_TAG,
         })
@@ -142,11 +158,13 @@ class ArtifactCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        self._touch(path)
         return raw
 
     def put_object(self, key: str, raw: RawModule) -> Path:
         path = objectfile.save(raw, self._object_path(key))
         self.stats.stores += 1
+        self._enforce_budget()
         return path
 
     # -- framed pickle entries (programs, run results) ---------------
@@ -174,12 +192,14 @@ class ArtifactCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        self._touch(path)
         return entry
 
     def _put_framed(self, path: Path, entry: Any) -> Path:
         payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
         path.write_bytes(hashlib.sha256(payload).digest() + payload)
         self.stats.stores += 1
+        self._enforce_budget()
         return path
 
     # -- linked programs ---------------------------------------------
@@ -224,6 +244,22 @@ class ArtifactCache:
             return None  # never memoize faults/violations
         return self._put_framed(self._run_path(key), result)
 
+    # -- function-grain build units (repro.build) --------------------
+    #
+    # Keyed directly by the unit fingerprint (already a SHA-256 over
+    # the function's MIR, metadata, arch and toolchain tags — see
+    # ``repro.build.fingerprint.unit_fingerprint``).
+
+    def _unit_path(self, fingerprint: str) -> Path:
+        return self.root / "units" / f"{fingerprint}.unit"
+
+    def get_unit(self, fingerprint: str):
+        from repro.build.units import UnitArtifact
+        return self._get_framed(self._unit_path(fingerprint), UnitArtifact)
+
+    def put_unit(self, fingerprint: str, artifact) -> Path:
+        return self._put_framed(self._unit_path(fingerprint), artifact)
+
     # -- maintenance -------------------------------------------------
 
     def _evict(self, path: Path) -> None:
@@ -233,19 +269,66 @@ class ArtifactCache:
             pass
         self.stats.evictions += 1
 
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh an entry's mtime so LRU eviction sees the hit."""
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+
+    def _enforce_budget(self) -> None:
+        if self.max_mb is None:
+            return
+        budget = int(self.max_mb * 1024 * 1024)
+        entries = []
+        total = 0
+        for sub in self.SUBDIRS:
+            for path in (self.root / sub).iterdir():
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+        if total <= budget:
+            return
+        for _, size, path in sorted(entries, key=lambda e: (e[0], str(e[2]))):
+            self._evict(path)
+            total -= size
+            if total <= budget:
+                break
+
+    def trim(self) -> int:
+        """Apply the LRU budget now; returns the entries evicted."""
+        before = self.stats.evictions
+        self._enforce_budget()
+        return self.stats.evictions - before
+
+    def size_bytes(self) -> int:
+        total = 0
+        for sub in self.SUBDIRS:
+            for path in (self.root / sub).iterdir():
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    pass
+        return total
+
     def entry_count(self) -> Dict[str, int]:
         return {sub: sum(1 for _ in (self.root / sub).iterdir())
-                for sub in ("objects", "programs", "runs")}
+                for sub in self.SUBDIRS}
 
     def clear(self) -> None:
-        for sub in ("objects", "programs", "runs"):
+        for sub in self.SUBDIRS:
             for path in (self.root / sub).iterdir():
                 path.unlink()
 
 
-def open_cache(root: Union[str, Path, None]) -> Optional[ArtifactCache]:
+def open_cache(root: Union[str, Path, None],
+               max_mb: Optional[float] = None) -> Optional[ArtifactCache]:
     """Open (creating if needed) a cache at ``root``; None passes
     through so call sites can thread an optional cache untouched."""
     if root is None:
         return None
-    return ArtifactCache(Path(root))
+    return ArtifactCache(Path(root), max_mb=max_mb)

@@ -36,20 +36,26 @@ from repro.infra.targets import Target, target as get_target
 from repro.linker.static_linker import LinkedProgram, link
 from repro.mir.codegen import RawModule
 from repro.obs import clock
-from repro.toolchain import compile_module
 
 # ---------------------------------------------------------------------------
 # Process-wide cache configuration
 # ---------------------------------------------------------------------------
 
 _cache_dir: Optional[str] = None
+_cache_max_mb: Optional[float] = None
 _cache_singleton: Optional[ArtifactCache] = None
 
 
-def configure(cache_dir: Optional[str]) -> None:
-    """Set (or clear, with None) the process-wide artifact cache."""
-    global _cache_dir, _cache_singleton
+def configure(cache_dir: Optional[str],
+              max_mb: Optional[float] = None) -> None:
+    """Set (or clear, with None) the process-wide artifact cache.
+
+    ``max_mb`` bounds it: stores that push the cache over budget evict
+    least-recently-used entries (``--cache-max-mb`` on the CLIs).
+    """
+    global _cache_dir, _cache_max_mb, _cache_singleton
     _cache_dir = str(cache_dir) if cache_dir else None
+    _cache_max_mb = max_mb
     _cache_singleton = None
 
 
@@ -62,13 +68,24 @@ def default_cache() -> Optional[ArtifactCache]:
         return None
     if _cache_singleton is None or \
             str(_cache_singleton.root) != str(cache_dir):
-        _cache_singleton = open_cache(cache_dir)
+        _cache_singleton = open_cache(cache_dir, max_mb=_cache_max_mb)
     return _cache_singleton
 
 
 # ---------------------------------------------------------------------------
 # Cache-aware build pipeline
 # ---------------------------------------------------------------------------
+
+def _object_key(cache: ArtifactCache, name: str, arch: str,
+                source: str) -> str:
+    """Campaign object keys always carry the builtin-prelude digest —
+    every registry compile runs with the prelude on."""
+    # Lazy import: repro.infra.__init__ pulls this module in, and
+    # repro.build's own imports reach back into repro.infra.cache.
+    from repro.build.fingerprint import prelude_digest
+    return cache.object_key(name, arch, source,
+                            prelude=prelude_digest(True))
+
 
 def build_modules(target_name: str, arch: str,
                   cache: Optional[ArtifactCache] = None,
@@ -78,20 +95,21 @@ def build_modules(target_name: str, arch: str,
     Returns the raw modules plus their cache keys (the provenance the
     program key is derived from).
     """
+    from repro.build import compile_object
     spec = get_target(target_name)
     raws: List[RawModule] = []
     keys: List[str] = []
     for module_name, source in spec.sources().items():
         if cache is not None:
-            key = cache.object_key(module_name, arch, source)
+            key = _object_key(cache, module_name, arch, source)
             keys.append(key)
             raw = cache.get_object(key, arch)
             if raw is None:
-                raw = compile_module(source, name=module_name, arch=arch)
+                raw = compile_object(source, name=module_name, arch=arch)
                 cache.put_object(key, raw)
         else:
             keys.append("")
-            raw = compile_module(source, name=module_name, arch=arch)
+            raw = compile_object(source, name=module_name, arch=arch)
         raws.append(raw)
     return raws, keys
 
@@ -113,7 +131,7 @@ def build_program(target_name: str, arch: str = "x64", mcfi: bool = True,
         # Key the image off the module keys first: a warm program cache
         # still needs the object keys, but not the objects themselves.
         sources = spec.sources()
-        module_keys = [cache.object_key(name, arch, source)
+        module_keys = [_object_key(cache, name, arch, source)
                        for name, source in sources.items()]
         program_key = cache.program_key(arch, mcfi, module_keys)
         program = cache.get_program(program_key)
@@ -146,7 +164,7 @@ def run_result(target_name: str, arch: str = "x64", mcfi: bool = True,
         return Runtime(build_program(target_name, arch=arch,
                                      mcfi=mcfi)).run()
     sources = get_target(target_name).sources()
-    module_keys = [cache.object_key(name, arch, source)
+    module_keys = [_object_key(cache, name, arch, source)
                    for name, source in sources.items()]
     program_key = cache.program_key(arch, mcfi, module_keys)
     run_key = cache.run_key(program_key)

@@ -305,6 +305,12 @@ class MirModule:
     globals: Dict[str, GlobalData] = field(default_factory=dict)
     #: deduplicated string literals: id -> bytes (NUL-terminated)
     strings: Dict[int, bytes] = field(default_factory=dict)
+    #: per-scope ordered string references recorded during lowering
+    #: ('' = global initializers, else the function name).  Replaying
+    #: these lists in scope order through a fresh interner reproduces
+    #: the ``strings`` numbering exactly, which is how the incremental
+    #: build renumbers the string table after a single-function edit.
+    intern_refs: Dict[str, List[bytes]] = field(default_factory=dict)
 
     def function(self, name: str) -> MirFunction:
         for func in self.functions:

@@ -778,9 +778,18 @@ class ModuleLowerer:
         self.checked = checked
         self.module = ir.MirModule(name=checked.name)
         self._string_ids: Dict[bytes, int] = {}
+        self._refs: List[bytes] = []
+        self._refs_seen: set = set()
+
+    def _begin_scope(self, scope: str) -> None:
+        self._refs = self.module.intern_refs.setdefault(scope, [])
+        self._refs_seen = set(self._refs)
 
     def intern_string(self, data: bytes) -> int:
         terminated = data + b"\x00"
+        if terminated not in self._refs_seen:
+            self._refs_seen.add(terminated)
+            self._refs.append(terminated)
         if terminated not in self._string_ids:
             sid = len(self._string_ids)
             self._string_ids[terminated] = sid
@@ -788,9 +797,11 @@ class ModuleLowerer:
         return self._string_ids[terminated]
 
     def lower(self) -> ir.MirModule:
+        self._begin_scope("")
         for var in self.checked.globals:
             self.module.globals[var.name] = self._lower_global(var)
         for checked_func in self.checked.functions.values():
+            self._begin_scope(checked_func.name)
             lowered = FunctionLowerer(checked_func, self).lower()
             self.module.functions.append(lowered)
         return self.module

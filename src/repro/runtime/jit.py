@@ -31,9 +31,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.build import compile_object
 from repro.errors import LinkError, ReproError
 from repro.linker.dynamic_linker import DynamicLinker
-from repro.toolchain import compile_module
 
 
 @dataclass
@@ -76,7 +76,7 @@ class JitEngine:
         self._counter += 1
         name = f"__jit{self._counter}"
         try:
-            raw = compile_module(source, name=name,
+            raw = compile_object(source, name=name,
                                  arch=self.runtime.program.arch)
         except ReproError:
             self.stats.failures += 1

@@ -44,6 +44,12 @@ from repro.service.resilience import (  # noqa: F401
     ResilientServiceLoop,
 )
 from repro.service.shards import ShardedIdTables, TableShard  # noqa: F401
+from repro.service.tenancy import (  # noqa: F401
+    TenantChurn,
+    churn_compile_latencies,
+    tenant_source,
+    writeset_from_program,
+)
 
 __all__ = [
     "ShardedIdTables", "TableShard",
@@ -51,4 +57,6 @@ __all__ = [
     "ServiceLoop", "ServiceReport", "TenantSpec", "WritesetTemplate",
     "HealthPolicy", "ShardHealthMonitor",
     "ParityWritesetTemplate", "ResilienceReport", "ResilientServiceLoop",
+    "TenantChurn", "churn_compile_latencies", "tenant_source",
+    "writeset_from_program",
 ]

@@ -101,6 +101,11 @@ class CheckedFunction:
     locals: List[Tuple[str, Type]]     # unique name -> type (params included)
     body: ast.Block
     is_static: bool = False
+    #: function names whose address *this* body takes (per-function view
+    #: of the unit-level ``address_taken`` set; incremental rebuilds merge
+    #: these instead of re-deriving the flat set)
+    takes: Set[str] = field(default_factory=set)
+    uses_setjmp: bool = False
 
 
 @dataclass
@@ -113,6 +118,8 @@ class CheckedUnit:
     func_sigs: Dict[str, FuncSig] = field(default_factory=dict)
     func_types: Dict[str, FuncType] = field(default_factory=dict)
     address_taken: Set[str] = field(default_factory=set)
+    #: addresses taken outside any function body (global initializers)
+    global_takes: Set[str] = field(default_factory=set)
     calls: List[CallRecord] = field(default_factory=list)
     casts: List[CastRecord] = field(default_factory=list)
     globals: List[ast.GlobalVar] = field(default_factory=list)
@@ -294,6 +301,10 @@ class Checker:
             # Using a function name in a value position takes its
             # address; the direct-call case overrides this in _check_call.
             self.out.address_taken.add(expr.name)
+            if self.current_function is not None:
+                self.current_function.takes.add(expr.name)
+            else:
+                self.out.global_takes.add(expr.name)
             expr.ctype = PointerType(symbol.ctype)
         return expr
 
@@ -493,6 +504,8 @@ class Checker:
                     sig=None))
             if direct_name == "setjmp":
                 self.out.uses_setjmp = True
+                if self.current_function is not None:
+                    self.current_function.uses_setjmp = True
         else:
             self.out.calls.append(CallRecord(
                 caller=caller, line=expr.line, direct=None,

@@ -1,26 +1,37 @@
-"""End-to-end MCFI toolchain driver (paper Sec. 7).
+"""Legacy toolchain entry points — thin shims over :mod:`repro.build`.
 
-Chains the pipeline for one module::
+The pipeline (paper Sec. 7) chains, for one module::
 
     TinyC source -> parse -> type check -> MIR -> codegen -> RawModule
 
 and for whole programs::
 
-    [RawModule, ...] -> static link (separate instrumentation) -> load -> run
+    [module, ...] -> static link (separate instrumentation) -> load -> run
 
-The ``BUILTIN_PRELUDE`` plays the role of the C headers: declarations of
-the libc API every module may use.  ``__syscall``, ``setjmp`` and
-``longjmp`` are compiler intrinsics.
+Since the ``repro.build`` redesign the *implementation* lives there —
+function-grain compilation units, content-addressed caching, pool
+parallelism and incremental re-link behind
+:class:`~repro.build.session.BuildSession`.  This module keeps the
+original call shapes working: :func:`compile_module`,
+:func:`compile_and_link` and :func:`compile_and_run` delegate to
+:mod:`repro.build` and produce byte-identical programs.  The ``optimize``
+keyword was renamed ``devirtualize`` in the new API; passing it here
+still works but emits a :class:`DeprecationWarning`.
+
+What genuinely lives here is the language frontend: the
+``BUILTIN_PRELUDE`` plays the role of the C headers (declarations of
+the libc API every module may use; ``__syscall``, ``setjmp`` and
+``longjmp`` are compiler intrinsics), and :func:`frontend` is the
+parse+typecheck step every build path shares.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional
 
-from repro.linker.static_linker import LinkedProgram, link
-from repro.mir.codegen import RawModule, generate
-from repro.mir.lowering import lower_unit
-from repro.obs import OBS
+from repro.linker.static_linker import LinkedProgram
+from repro.mir.codegen import RawModule
 from repro.runtime.runtime import Runtime, RunResult
 from repro.tinyc.parser import parse
 from repro.tinyc.typecheck import CheckedUnit, check
@@ -74,41 +85,48 @@ def frontend(source: str, name: str = "unit", prelude: bool = True,
     return check(unit)
 
 
+def _renamed_optimize(fn: str, optimize: Optional[bool]) -> bool:
+    """Resolve the legacy ``optimize`` keyword (renamed ``devirtualize``
+    in :mod:`repro.build`), warning when it was explicitly passed."""
+    if optimize is None:
+        return False
+    warnings.warn(
+        f"{fn}(optimize=...) is deprecated: the keyword is named "
+        f"'devirtualize' in the repro.build API — use repro.build."
+        f"{'compile_object' if fn == 'compile_module' else 'build_program'}",
+        DeprecationWarning, stacklevel=3)
+    return optimize
+
+
 def compile_module(source: str, name: str = "unit", arch: str = "x64",
                    prelude: bool = True,
-                   optimize: bool = False) -> RawModule:
+                   optimize: Optional[bool] = None) -> RawModule:
     """Compile one TinyC module to (uninstrumented) symbolic assembly.
 
-    ``optimize`` runs the function-pointer points-to pass between
-    lowering and codegen: singleton-target indirect calls become direct
-    calls and small resolved sets become CFG target hints (see
-    :mod:`repro.analysis.dataflow.pointsto`).  Off by default so the
-    baseline artifacts the paper's tables are built from stay stable.
+    Thin shim over :func:`repro.build.compile_object`; ``optimize`` is
+    the deprecated spelling of ``devirtualize``.
     """
-    with OBS.tracer.span("toolchain.compile", module=name, arch=arch):
-        with OBS.tracer.span("toolchain.frontend", module=name):
-            checked = frontend(source, name=name, prelude=prelude)
-        with OBS.tracer.span("toolchain.lower", module=name):
-            mir_module = lower_unit(checked)
-        if optimize:
-            from repro.analysis.dataflow import devirtualize_module
-            devirtualize_module(mir_module)
-        with OBS.tracer.span("toolchain.codegen", module=name):
-            return generate(mir_module, checked, arch=arch)
+    from repro.build.api import compile_object
+    return compile_object(source, name=name, arch=arch, prelude=prelude,
+                          devirtualize=_renamed_optimize(
+                              "compile_module", optimize))
 
 
 def compile_and_link(sources: Dict[str, str], arch: str = "x64",
                      mcfi: bool = True, with_libc: bool = True,
                      allow_unresolved: Optional[List[str]] = None,
-                     optimize: bool = False) -> LinkedProgram:
-    """Compile named sources (plus simlibc) and statically link them."""
-    raws = [compile_module(text, name=name, arch=arch, optimize=optimize)
-            for name, text in sources.items()]
-    if with_libc:
-        from repro.workloads.libc import LIBC_SOURCE
-        raws.append(compile_module(LIBC_SOURCE, name="libc", arch=arch,
-                                   optimize=optimize))
-    return link(raws, mcfi=mcfi, allow_unresolved=allow_unresolved)
+                     optimize: Optional[bool] = None) -> LinkedProgram:
+    """Compile named sources (plus simlibc) and statically link them.
+
+    Thin shim over :func:`repro.build.build_program`; ``optimize`` is
+    the deprecated spelling of ``devirtualize``.
+    """
+    from repro.build.api import build_program
+    return build_program(sources, arch=arch, mcfi=mcfi,
+                         with_libc=with_libc,
+                         allow_unresolved=allow_unresolved,
+                         devirtualize=_renamed_optimize(
+                             "compile_and_link", optimize)).program
 
 
 def run_program(program: LinkedProgram, verify: bool = False,
@@ -122,5 +140,6 @@ def compile_and_run(sources: Dict[str, str], arch: str = "x64",
                     mcfi: bool = True, verify: bool = False,
                     max_steps: int = 200_000_000) -> RunResult:
     """Convenience: compile, link, load and run in one call."""
-    program = compile_and_link(sources, arch=arch, mcfi=mcfi)
+    from repro.build.api import build_program
+    program = build_program(sources, arch=arch, mcfi=mcfi).program
     return run_program(program, verify=verify, max_steps=max_steps)

@@ -28,7 +28,7 @@ from repro.linker.static_linker import link
 from repro.mir.codegen import RawModule
 from repro.module import objectfile
 from repro.runtime.runtime import Runtime
-from repro.toolchain import compile_module
+from repro.build import compile_object
 from repro.workloads.libc import LIBC_SOURCE
 
 
@@ -36,7 +36,7 @@ def _load_input(path: Path, arch: str) -> RawModule:
     if path.suffix == ".mcfo":
         return objectfile.load(path)
     source = path.read_text()
-    return compile_module(source, name=path.stem, arch=arch)
+    return compile_object(source, name=path.stem, arch=arch)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,7 +71,7 @@ def main(argv: List[str] | None = None) -> int:
                       file=sys.stderr)
                 return 2
             source_path = args.inputs[0]
-            raw = compile_module(source_path.read_text(),
+            raw = compile_object(source_path.read_text(),
                                  name=source_path.stem, arch=args.arch)
             output = args.output or source_path.with_suffix(".mcfo")
             objectfile.save(raw, output)
@@ -81,7 +81,7 @@ def main(argv: List[str] | None = None) -> int:
 
         raws = [_load_input(path, args.arch) for path in args.inputs]
         if not args.no_libc:
-            raws.append(compile_module(LIBC_SOURCE, name="libc",
+            raws.append(compile_object(LIBC_SOURCE, name="libc",
                                        arch=args.arch))
         program = link(raws, mcfi=not args.native)
         print(f"linked {len(raws)} modules: {len(program.module.code)} "

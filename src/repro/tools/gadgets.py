@@ -23,7 +23,7 @@ from repro.cfg.generator import generate_cfg
 from repro.errors import ReproError
 from repro.linker.static_linker import link
 from repro.module import objectfile
-from repro.toolchain import compile_module
+from repro.build import compile_object
 from repro.workloads.libc import LIBC_SOURCE
 
 
@@ -50,9 +50,9 @@ def main(argv: List[str] | None = None) -> int:
         if args.input.suffix == ".mcfo":
             raw = objectfile.load(args.input)
         else:
-            raw = compile_module(args.input.read_text(),
+            raw = compile_object(args.input.read_text(),
                                  name=args.input.stem, arch=args.arch)
-        libc = compile_module(LIBC_SOURCE, name="libc", arch=args.arch)
+        libc = compile_object(LIBC_SOURCE, name="libc", arch=args.arch)
         program = link([raw, libc], mcfi=args.mcfi)
         module = program.module
 

@@ -12,6 +12,8 @@ Examples::
     python -m repro.tools.infra run --jobs 4 \\
         --instances native-x64 mcfi-x64 mcfi-x32
     python -m repro.tools.infra report --results-dir benchmarks/results
+    python -m repro.tools.infra cache stats --cache-dir .cache/repro-infra
+    python -m repro.tools.infra cache trim --cache-max-mb 64
 """
 
 from __future__ import annotations
@@ -49,6 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=1, metavar="N")
         p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                        metavar="PATH")
+        p.add_argument("--cache-max-mb", type=float, default=None,
+                       metavar="MB",
+                       help="LRU budget for the artifact cache "
+                            "(default: unbounded)")
         p.add_argument("--timeout", type=float, default=600.0,
                        metavar="SECONDS", help="per-job timeout")
         p.add_argument("--retries", type=int, default=1,
@@ -70,11 +76,42 @@ def build_parser() -> argparse.ArgumentParser:
                              "<cache-dir>/results.jsonl)")
     report.add_argument("--results-dir", default=None, metavar="DIR",
                         help="also regenerate artifact .txt files here")
+
+    cache = sub.add_parser("cache",
+                           help="inspect or bound the artifact cache")
+    cache.add_argument("action", choices=("stats", "trim"),
+                       help="stats: entry counts and disk use; "
+                            "trim: apply --cache-max-mb LRU eviction now")
+    cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       metavar="PATH")
+    cache.add_argument("--cache-max-mb", type=float, default=None,
+                       metavar="MB", help="LRU budget (required for trim)")
     return parser
 
 
+def _cache(args: argparse.Namespace) -> int:
+    from repro.infra.cache import open_cache
+    cache = open_cache(args.cache_dir, max_mb=args.cache_max_mb)
+    counts = cache.entry_count()
+    if args.action == "trim":
+        if args.cache_max_mb is None:
+            print("error: trim needs --cache-max-mb", file=sys.stderr)
+            return 2
+        evicted = cache.trim()
+        print(f"evicted {evicted} entries")
+        counts = cache.entry_count()
+    total_mb = cache.size_bytes() / (1024 * 1024)
+    budget = (f"{args.cache_max_mb:g} MB budget"
+              if args.cache_max_mb is not None else "unbounded")
+    print(f"cache {cache.root} ({budget})")
+    for kind in cache.SUBDIRS:
+        print(f"  {kind:9s} {counts[kind]:6d} entries")
+    print(f"  {'total':9s} {total_mb:8.1f} MB on disk")
+    return 0
+
+
 def _campaign(args: argparse.Namespace, execute: bool) -> int:
-    configure(args.cache_dir)
+    configure(args.cache_dir, max_mb=args.cache_max_mb)
     cache = default_cache()
     store = ResultStore(cache.root / "results.jsonl")
     names = args.benchmarks or list(BENCHMARKS)
@@ -121,6 +158,8 @@ def main(argv: List[str] | None = None) -> int:
         return _campaign(args, execute=False)
     if args.command == "run":
         return _campaign(args, execute=True)
+    if args.command == "cache":
+        return _cache(args)
     return _report(args)
 
 

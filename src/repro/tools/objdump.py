@@ -22,7 +22,7 @@ from repro.errors import ReproError
 from repro.isa.disasm import format_instr, sweep_ranges
 from repro.linker.static_linker import link
 from repro.module import objectfile
-from repro.toolchain import compile_module
+from repro.build import compile_object
 from repro.workloads.libc import LIBC_SOURCE
 
 
@@ -48,9 +48,9 @@ def main(argv: List[str] | None = None) -> int:
         if args.input.suffix == ".mcfo":
             raw = objectfile.load(args.input)
         else:
-            raw = compile_module(args.input.read_text(),
+            raw = compile_object(args.input.read_text(),
                                  name=args.input.stem, arch=args.arch)
-        libc = compile_module(LIBC_SOURCE, name="libc", arch=args.arch)
+        libc = compile_object(LIBC_SOURCE, name="libc", arch=args.arch)
         program = link([raw, libc], mcfi=not args.native,
                        entry_symbol="_start")
         module = program.module

@@ -53,6 +53,13 @@ SPAN_CATALOG = (
     ("toolchain.lower", "", "AST -> MIR"),
     ("toolchain.codegen", "", "MIR -> SimISA + instrumentation"),
     ("toolchain.link", "modules mcfi", "static link of all modules"),
+    ("build.session", "modules arch mcfi", "one BuildSession.build call"),
+    ("build.frontend", "module", "session frontend (lex/parse/check)"),
+    ("build.lower", "module", "session AST -> MIR"),
+    ("build.units", "module", "function-grain unit compiles"),
+    ("build.mini_frontend", "module dirty",
+     "stub-source recheck of dirty bodies"),
+    ("build.link", "modules", "unit-grain (re)link"),
     ("cfg.generate", "ibs ibts eqcs", "type-matching CFG generation"),
     ("linker.prepare", "library", "map/patch a library pre-seal"),
     ("linker.cfg", "", "CFG regeneration over merged aux info"),
@@ -83,6 +90,11 @@ METRIC_CATALOG = (
     ("counter", "tables.bary_writes", "Bary slots written (churn)"),
     ("histogram", "tx.lock.wait_steps", "update-lock spin steps"),
     ("histogram", "tx.lock.hold_steps", "update-lock hold duration"),
+    ("counter", "build.units", "function units considered"),
+    ("counter", "build.unit_hits", "units served from the cache"),
+    ("counter", "build.unit_compiled", "units recompiled"),
+    ("counter", "build.unit_parallel", "units compiled via the pool"),
+    ("counter", "build.splices", "single-unit in-place re-links"),
     ("counter", "cfg.generations", "CFG generation passes"),
     ("gauge", "cfg.eqcs", "EQCs in the latest CFG"),
     ("histogram", "cfg.ibts", "IBTs per generation"),
@@ -285,15 +297,15 @@ def run_demo(seed: Optional[int], out: Path) -> Tuple[str, List[str]]:
     from repro.infra.pool import Job, WorkerPool
     from repro.linker.dynamic_linker import DynamicLinker
     from repro.runtime.runtime import Runtime
-    from repro.toolchain import compile_and_link, compile_module
+    from repro.build import build_program, compile_object
 
     with obs.scoped(seed=seed) as state:
-        program = compile_and_link(_DEMO_MAIN, mcfi=True,
-                                   allow_unresolved=["libfn"])
+        program = build_program(_DEMO_MAIN, mcfi=True,
+                                allow_unresolved=["libfn"]).program
         runtime = Runtime(program)
         linker = DynamicLinker(runtime)
         linker.register("plugin",
-                        compile_module(_DEMO_LIB, name="plugin"))
+                        compile_object(_DEMO_LIB, name="plugin"))
         result = runtime.run()
         if not result.ok:
             raise RuntimeError(f"demo workload failed: "

@@ -17,6 +17,7 @@ from repro.analysis.dataflow import (Baseline, Diagnostic, LintReport,
 from repro.analysis.dataflow.solver import DataflowProblem
 from repro.mir import ir
 from repro.mir.lowering import lower_unit
+from repro.build import build_program
 from repro.toolchain import compile_and_link, frontend, run_program
 
 
@@ -312,7 +313,7 @@ class TestDevirtualize:
     def test_optimized_build_runs_byte_identically(self):
         sources = {"t": FPTR_SOURCE}
         base = compile_and_link(sources, mcfi=True)
-        opt = compile_and_link(sources, mcfi=True, optimize=True)
+        opt = build_program(sources, devirtualize=True).program
         from repro.core.verifier import verify_module
         verify_module(opt.module)  # still verifies after rewriting
         res_base = run_program(base)
@@ -328,7 +329,7 @@ class TestDevirtualize:
         from repro.cfg.generator import generate_cfg
         sources = {"t": FPTR_SOURCE}
         base = compile_and_link(sources, mcfi=True)
-        opt = compile_and_link(sources, mcfi=True, optimize=True)
+        opt = build_program(sources, devirtualize=True).program
 
         def icall_target_sets(program):
             aux = program.module.aux

@@ -109,10 +109,12 @@ class TestObjectRoundTrip:
 
 class TestProgramAndRunEntries:
     def test_program_round_trip_and_corruption(self, cache):
+        from repro.build.fingerprint import prelude_digest
         from repro.infra.campaign import build_program
         program = build_program("libquantum", "x64", True, cache=cache)
-        keys = [cache.object_key(n, "x64", s) for n, s in
-                get_target("libquantum").sources().items()]
+        keys = [cache.object_key(n, "x64", s,
+                                 prelude=prelude_digest(True))
+                for n, s in get_target("libquantum").sources().items()]
         key = cache.program_key("x64", True, keys)
         fetched = cache.get_program(key)
         assert fetched is not None

@@ -181,8 +181,8 @@ class TestInstrumentation:
                 {"t": "int main(void){ return 0; }"}, mcfi=True)
             assert result.ok
             names = {s["name"] for s in state.tracer.spans}
-        assert {"toolchain.compile", "toolchain.frontend",
-                "toolchain.codegen", "toolchain.link", "cfg.generate",
+        assert {"build.session", "build.frontend", "build.units",
+                "build.link", "cfg.generate",
                 "vm.run", "runtime.run"} <= names
 
     def test_run_result_carries_metrics_delta(self):
