@@ -208,8 +208,8 @@ def test_verifier_speed(benchmark):
     from repro.core.verifier import verify_module
     from repro.experiments import compiled
     module = compiled("sjeng", "x64", True).module
-    stats = benchmark(lambda: verify_module(module))
-    assert stats["checked_branches"] > 0
+    report = benchmark(lambda: verify_module(module))
+    assert report.stats["checked_branches"] > 0
 
 
 # -- script entry point (CI build-smoke job) --------------------------------

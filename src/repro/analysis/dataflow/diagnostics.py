@@ -27,6 +27,18 @@ CODES: Dict[str, Tuple[str, str]] = {
     "MCFI003": ("error", "store address has integer-only provenance "
                          "(not derived from a maskable base)"),
     "MCFI004": ("error", "store through a code (function) address"),
+    # MCFI005-008 come from the binary verifier
+    # (repro.analysis.binverify): machine-code-level proofs over the
+    # disassembled image, not MIR lints.
+    "MCFI005": ("error", "indirect branch not dominated by an intact "
+                         "check transaction"),
+    "MCFI006": ("error", "reachable store through an unmasked base "
+                         "register"),
+    "MCFI007": ("error", "direct branch/decode discipline violated "
+                         "(off-boundary target or incomplete "
+                         "disassembly)"),
+    "MCFI008": ("error", "table/alignment discipline violated (aux "
+                         "targets, Bary slots, transaction count)"),
 }
 
 _SEVERITY_RANK = {"error": 0, "warning": 1, "note": 2}

@@ -54,15 +54,19 @@ def build_program(sources: Dict[str, str], arch: str = "x64",
                   mcfi: bool = True, with_libc: bool = True,
                   allow_unresolved: Optional[List[str]] = None,
                   devirtualize: bool = False,
-                  cache=None, pool=None) -> BuildResult:
+                  cache=None, pool=None,
+                  verify_units: bool = True) -> BuildResult:
     """Build named sources (plus simlibc) into a linked program.
 
     A one-shot :class:`BuildSession`: every build is cold at the
     session level, but with a ``cache`` the function-grain unit
     artifacts still carry over between calls (and processes).
+    ``verify_units`` is the machine-code trust boundary: pool results
+    and cache publishes must pass :mod:`repro.analysis.binverify`.
     """
     session = BuildSession(arch=arch, mcfi=mcfi, with_libc=with_libc,
                            allow_unresolved=allow_unresolved,
                            devirtualize=devirtualize,
-                           cache=cache, pool=pool)
+                           cache=cache, pool=pool,
+                           verify_units=verify_units)
     return session.build(sources)

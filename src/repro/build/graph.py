@@ -12,6 +12,16 @@ when enough units are dirty, fans them across a
 the parent validates each result against its expected fingerprint
 before publishing anything to the cache, so a crashed or fault-injected
 worker can never publish a partial unit.
+
+Fingerprint validation proves *identity*, not *safety*: a tampering
+worker could still return bytes that merely look like the unit it was
+asked for.  With ``verify_units`` (the default) every pool-returned
+artifact, and every artifact about to be published to the shared
+cache, must additionally pass the machine-code verifier
+(:func:`repro.analysis.binverify.verify_unit`) — a pool result that
+fails is discarded and recompiled inline; an inline-compiled unit that
+fails raises :class:`repro.errors.UnitVerificationError` (a genuine
+miscompile must never be published).
 """
 
 from __future__ import annotations
@@ -59,8 +69,20 @@ def _compile_one(func: ir.MirFunction, module: str, arch: str,
                         fingerprint)
 
 
+def unit_verifies(artifact: UnitArtifact, arch: str, module: str) -> bool:
+    """True iff the binary verifier accepts the unit artifact."""
+    from repro.analysis.binverify import verify_unit
+    from repro.errors import UnitVerificationError
+    try:
+        verify_unit(artifact, arch=arch, module=module)
+    except UnitVerificationError:
+        return False
+    return True
+
+
 def compile_module_units(mir: ir.MirModule, checked: CheckedUnit, arch: str,
                          cache=None, pool=None, parallel_threshold: int = 4,
+                         verify_units: bool = True,
                          ) -> Tuple[ModuleUnits, BuildGraph, Dict[str, int]]:
     """Compile one module's function units, cache-first.
 
@@ -68,7 +90,9 @@ def compile_module_units(mir: ir.MirModule, checked: CheckedUnit, arch: str,
     ``parallel_threshold`` of them miss the cache; pool failures (worker
     crash, fault injection, unpicklable result) degrade to an inline
     recompile — the build still succeeds and only parent-validated
-    artifacts are ever published.
+    artifacts are ever published.  ``verify_units`` additionally runs
+    the binary verifier over every pool-returned artifact and before
+    every cache publish (the untrusted-toolchain trust boundary).
     """
     graph = BuildGraph.of(mir, checked, arch)
     units: Dict[str, UnitArtifact] = {}
@@ -89,6 +113,7 @@ def compile_module_units(mir: ir.MirModule, checked: CheckedUnit, arch: str,
 
     compiled: Dict[str, UnitArtifact] = {}
     pool_ok = 0
+    pool_rejected = 0
     if pool is not None and len(misses) >= parallel_threshold:
         results = pool.map(_compile_one, [job_args(f) for f in misses])
         for func, result in zip(misses, results):
@@ -97,6 +122,12 @@ def compile_module_units(mir: ir.MirModule, checked: CheckedUnit, arch: str,
                     and artifact.fn == func.name
                     and artifact.fingerprint ==
                     graph.fingerprints[func.name]):
+                if verify_units and not unit_verifies(artifact, arch,
+                                                      mir.name):
+                    # Verifiable-looking but unsafe bytes from a
+                    # tampering worker: drop and recompile inline.
+                    pool_rejected += 1
+                    continue
                 compiled[func.name] = artifact
                 pool_ok += 1
     for func in misses:
@@ -106,6 +137,12 @@ def compile_module_units(mir: ir.MirModule, checked: CheckedUnit, arch: str,
     for name, artifact in compiled.items():
         units[name] = artifact
         if cache is not None:
+            if verify_units:
+                # Publish gate: nothing lands in the shared cache
+                # unverified.  An inline-compiled unit failing here is
+                # a genuine miscompile and must abort the build.
+                from repro.analysis.binverify import verify_unit
+                verify_unit(artifact, arch=arch, module=mir.name)
             cache.put_unit(artifact.fingerprint, artifact)
 
     module_units = ModuleUnits(
@@ -118,5 +155,6 @@ def compile_module_units(mir: ir.MirModule, checked: CheckedUnit, arch: str,
     stats = {"units": len(mir.functions),
              "unit_hits": len(mir.functions) - len(misses),
              "unit_compiled": len(misses),
-             "unit_parallel": pool_ok}
+             "unit_parallel": pool_ok,
+             "unit_rejected": pool_rejected}
     return module_units, graph, stats

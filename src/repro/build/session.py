@@ -89,7 +89,8 @@ class BuildSession:
                  prelude: bool = True, devirtualize: bool = False,
                  with_libc: bool = True,
                  allow_unresolved: Optional[List[str]] = None,
-                 cache=None, pool=None, parallel_threshold: int = 4):
+                 cache=None, pool=None, parallel_threshold: int = 4,
+                 verify_units: bool = True):
         self.arch = arch
         self.mcfi = mcfi
         self.prelude = prelude
@@ -99,6 +100,9 @@ class BuildSession:
         self.cache = cache
         self.pool = pool
         self.parallel_threshold = parallel_threshold
+        #: run the binary verifier over pool results and before every
+        #: cache publish (see repro.analysis.binverify)
+        self.verify_units = verify_units
         self._modules: Dict[str, _ModuleState] = {}
         self._link: Optional[LinkState] = None
         self._order: List[str] = []
@@ -233,7 +237,8 @@ class BuildSession:
         with OBS.tracer.span("build.units", module=name):
             units, graph, ustats = compile_module_units(
                 mir, checked, self.arch, cache=self.cache, pool=self.pool,
-                parallel_threshold=self.parallel_threshold)
+                parallel_threshold=self.parallel_threshold,
+                verify_units=self.verify_units)
         for key, value in ustats.items():
             stats[key] = stats.get(key, 0) + value
         self._modules[name] = _ModuleState(
@@ -294,6 +299,10 @@ class BuildSession:
                         tuple(sorted(meta.takes)), meta.uses_setjmp,
                         fingerprint)
                     if self.cache is not None:
+                        if self.verify_units:
+                            from repro.analysis.binverify import verify_unit
+                            verify_unit(artifact, arch=self.arch,
+                                        module=name)
                         self.cache.put_unit(fingerprint, artifact)
                 refs = list(mir.intern_refs.get(func.name, []))
                 compiled[func.name] = (artifact, refs)

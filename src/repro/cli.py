@@ -51,6 +51,7 @@ TOOLS = {
     "gadgets": "gadgets",
     "lint": "lint",
     "service": "service",
+    "verify": "verify",
 }
 
 
@@ -111,6 +112,8 @@ def tool_argv(args: argparse.Namespace) -> List[str]:
         if sub == "campaign":
             add("--jobs", args.jobs)
             add("--seeds", args.seed)
+    elif args.command == "verify":
+        add("--cache-dir", args.cache_dir)
     elif args.command == "obs":
         if sub == "demo":
             add("--seed", args.seed)

@@ -8,35 +8,42 @@ information in an MCFI module enables the complete disassembly of the
 module.  The verifier removes the rewriter [from] the trusted computing
 base."
 
-Checks performed on a module (before loading):
+Since PR 9 the checks are *proofs*, not adjacency pattern matches:
+:mod:`repro.analysis.binverify` reconstructs a binary-level CFG from
+the decoded instruction boundaries and runs an abstract interpreter
+(the MIR worklist solver over a per-register fact lattice) that
+establishes, for the reachable portion of the image:
 
-1. **Complete disassembly** — every code range (jump tables excluded,
-   per the auxiliary data ranges) decodes exactly, ending on an
-   instruction boundary.
-2. **No bare indirect branches** — the module contains no ``ret`` at
-   all (returns are rewritten to pop/check/jmp), and every ``jmp *r`` /
-   ``call *r`` is (a) through ``rcx`` and (b) immediately preceded by
-   the Fig. 4 comparison (``tload rdi``/``tload rsi``/``cmp``/``jne``).
-3. **Sandboxed writes** — on x64, every store's base register is
-   masked by a ``movzx32`` with no intervening write to it (``rsp``-
-   based stores and ``push`` excepted: the stack pointer is not
-   attacker-controllable in the threat model).
-4. **Alignment** — every indirect-branch target recorded in the
-   auxiliary information (AT function entries, return sites, switch
-   targets, setjmp resumes) is 4-byte aligned.
+1. **complete disassembly** of every code range (jump tables excluded
+   per the auxiliary data ranges) — MCFI007 on failure;
+2. **dominating check transactions** — every reachable indirect branch
+   (and the absence of any bare ``ret``) is dominated by an intact
+   Fig. 4 check sequence with no clobber of the checked register in
+   between — MCFI005;
+3. **sandboxed writes** — on x64, every reachable store's base is
+   provably masked — MCFI006;
+4. **target + table discipline** — direct branches land on declared
+   decoded boundaries, aux targets are 4-byte aligned, and the patched
+   Bary slots correspond one-to-one with the intact transactions —
+   MCFI007/MCFI008.
+
+This module stays the raising surface the loader and linker call:
+:func:`verify_module` returns a
+:class:`~repro.analysis.binverify.VerifyReport` (with a deprecation
+shim for the old ``Dict[str, int]`` shape) and raises
+:class:`~repro.errors.VerificationError` on the first diagnostic.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
+from repro.analysis.binverify import VerifyReport, analyze_module
 from repro.errors import EncodingError, VerificationError
 from repro.isa.disasm import DecodedInstr, sweep_ranges
-from repro.isa.instructions import Op
-from repro.isa.registers import Reg
 from repro.module.module import McfiModule
 
-_STORES = (Op.STORE8, Op.STORE16, Op.STORE32, Op.STORE64)
+__all__ = ["disassemble_module", "verify_module", "VerifyReport"]
 
 
 def disassemble_module(module: McfiModule) -> List[DecodedInstr]:
@@ -49,118 +56,13 @@ def disassemble_module(module: McfiModule) -> List[DecodedInstr]:
         ) from exc
 
 
-def _check_indirect_branches(instrs: List[DecodedInstr],
-                             module: McfiModule) -> int:
-    """Check 2.  Returns the number of verified check transactions."""
-    verified = 0
-    for index, decoded in enumerate(instrs):
-        op = decoded.instr.op
-        if op == Op.RET:
-            raise VerificationError(
-                f"{module.name}: bare ret (returns must be rewritten)",
-                decoded.address)
-        if op in (Op.JMP_R, Op.CALL_R):
-            if decoded.instr.operands[0] != Reg.RCX:
-                raise VerificationError(
-                    f"{module.name}: indirect branch not through %rcx",
-                    decoded.address)
-            # Alignment no-ops may sit between the check and the branch
-            # (the AlignEnd padding before an indirect call).
-            cursor = index
-            while cursor > 0 and instrs[cursor - 1].instr.op == Op.NOP:
-                cursor -= 1
-            if cursor < 4:
-                raise VerificationError(
-                    f"{module.name}: indirect branch without check",
-                    decoded.address)
-            tload_b, tload_t, compare, branch = instrs[cursor - 4:cursor]
-            pattern_ok = (
-                tload_b.instr.op == Op.TLOAD_RI
-                and tload_b.instr.operands[0] == Reg.RDI
-                and tload_t.instr.op == Op.TLOAD_RR
-                and tload_t.instr.operands[0] == Reg.RSI
-                and tload_t.instr.operands[1] == Reg.RCX
-                and compare.instr.op == Op.CMP_RR
-                and tuple(compare.instr.operands) == (Reg.RDI, Reg.RSI)
-                and branch.instr.op == Op.JNE)
-            if not pattern_ok:
-                raise VerificationError(
-                    f"{module.name}: indirect branch at "
-                    f"{decoded.address:#x} lacks the check-transaction "
-                    f"sequence")
-            verified += 1
-    return verified
-
-
-def _check_sandboxed_writes(instrs: List[DecodedInstr],
-                            module: McfiModule) -> None:
-    """Check 3 (x64 write sandboxing)."""
-    if module.arch != "x64":
-        return  # x32 uses segmentation; no per-store masking required
-    masked_at: Dict[int, int] = {}
-    for index, decoded in enumerate(instrs):
-        instr = decoded.instr
-        if instr.op == Op.MOVZX32:
-            masked_at[instr.operands[0]] = index
-            continue
-        if instr.op in _STORES:
-            base = instr.operands[0]
-            if base == Reg.RSP or base == Reg.RBP:
-                # Frame-relative writes: rsp/rbp are not attacker-
-                # controllable registers and stay in the sandbox.
-                continue
-            mask_index = masked_at.get(base)
-            if mask_index is None or mask_index != index - 1:
-                raise VerificationError(
-                    f"{module.name}: unsandboxed store via "
-                    f"{Reg(base)}", decoded.address)
-            continue
-        # Any instruction that writes a register invalidates its mask.
-        if instr.operands and instr.spec.operands and \
-                instr.op not in (Op.CMP_RR, Op.CMP_RI, Op.TEST_RR,
-                                 Op.TEST_RI, Op.CMPW_RR, Op.TESTB1):
-            masked_at.pop(instr.operands[0], None)
-
-
-def _check_alignment(module: McfiModule,
-                     instrs: List[DecodedInstr]) -> None:
-    """Check 4: every recorded indirect-branch target is 4-aligned."""
-    aux = module.aux
-    targets: List[int] = []
-    targets += [f.entry for f in aux.functions.values()]
-    targets += [r.address for r in aux.retsites]
-    targets += list(aux.setjmp_resumes)
-    for site in aux.branch_sites:
-        targets += list(site.targets)
-    boundaries = {d.address for d in instrs}
-    for address in targets:
-        if address % 4:
-            raise VerificationError(
-                f"{module.name}: indirect-branch target not 4-byte aligned",
-                address)
-        if address not in boundaries and \
-                module.base <= address < module.limit:
-            raise VerificationError(
-                f"{module.name}: target is not an instruction boundary",
-                address)
-
-
-def verify_module(module: McfiModule) -> Dict[str, int]:
-    """Run all checks; returns statistics, raises on any failure.
+def verify_module(module: McfiModule) -> VerifyReport:
+    """Run the binary verifier; raise on any rejection.
 
     This is what removes the rewriter from the TCB: a module from an
     untrusted toolchain is accepted only if it verifies.
     """
-    instrs = disassemble_module(module)
-    checked_branches = _check_indirect_branches(instrs, module)
-    _check_sandboxed_writes(instrs, module)
-    _check_alignment(module, instrs)
-    if checked_branches != len(module.aux.branch_sites):
-        raise VerificationError(
-            f"{module.name}: {len(module.aux.branch_sites)} declared branch "
-            f"sites but {checked_branches} check transactions found")
-    return {
-        "instructions": len(instrs),
-        "checked_branches": checked_branches,
-        "targets": len(module.aux.functions) + len(module.aux.retsites),
-    }
+    report = analyze_module(module)
+    if not report.ok:
+        raise VerificationError(f"{module.name}: {report.first_error()}")
+    return report

@@ -315,6 +315,30 @@ class VerificationError(ReproError):
         super().__init__(message)
 
 
+class UnitVerificationError(VerificationError):
+    """Raised when a compilation unit fails the binary verifier.
+
+    The build-cache publish gate: a unit artifact (from a pool worker
+    or the on-disk cache) is admitted only after the machine-code
+    verifier proves its check transactions, store masks and alignment
+    intact.  ``report`` carries the full
+    :class:`repro.analysis.binverify.VerifyReport` when available.
+    """
+
+    code = "unit-verification"
+
+    def __init__(self, message: str, unit: str | None = None,
+                 report: object = None) -> None:
+        self.unit = unit
+        self.report = report
+        super().__init__(message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = super().to_dict()
+        out.update(unit=self.unit)
+        return out
+
+
 class CfgGenerationError(ReproError):
     """Raised when CFG generation fails (e.g. unknown symbol types)."""
 

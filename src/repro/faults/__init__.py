@@ -16,7 +16,10 @@ Modules:
 * :mod:`repro.faults.harness` — one injector against one workload,
   classified into survived / degraded / halted / forged / error;
 * :mod:`repro.faults.campaign` — the injector × workload × policy
-  matrix through the infra pool, with the survival report artifact.
+  matrix through the infra pool, with the survival report artifact;
+* :mod:`repro.faults.miscompile` — seeded toolchain-miscompile
+  injectors and the verifier-evasion campaign gating the
+  :mod:`repro.analysis.binverify` trust boundary (PR 9).
 """
 
 from repro.faults.campaign import (
@@ -41,6 +44,12 @@ from repro.faults.injectors import (
     table_scrubber,
     version_churn_injector,
 )
+from repro.faults.miscompile import (
+    MISCOMPILE_INJECTORS,
+    EvasionCell,
+    EvasionReport,
+    evasion_campaign,
+)
 from repro.faults.plane import NULL_PLANE, FaultEvent, FaultPlane
 from repro.faults.service_injectors import (
     shard_bit_flip_storm,
@@ -48,9 +57,13 @@ from repro.faults.service_injectors import (
 )
 
 __all__ = [
+    "EvasionCell",
+    "EvasionReport",
     "FaultEvent",
     "FaultPlane",
     "INJECTORS",
+    "MISCOMPILE_INJECTORS",
+    "evasion_campaign",
     "LOAD_PHASES",
     "NULL_PLANE",
     "POLICIES",

@@ -142,9 +142,15 @@ class LoadJournal:
 class DynamicLinker:
     """Loads registered libraries into a running :class:`Runtime`."""
 
-    def __init__(self, runtime, verify: bool = False,
+    def __init__(self, runtime, verify: bool = True,
                  fault_plane: FaultPlane = NULL_PLANE) -> None:
         self.runtime = runtime
+        #: verify-before-link: every dlopened module must pass the
+        #: binary verifier before any of its bytes are mapped (on by
+        #: default; applies only when the runtime enforces MCFI, since
+        #: native modules cannot verify).  This is the trust boundary
+        #: the tenant service inherits — an unverifiable tenant module
+        #: is rejected before it can reach the tables.
         self.verify = verify
         self.fault_plane = fault_plane
         self.registry: Dict[str, RawModule] = {}
@@ -415,7 +421,7 @@ class DynamicLinker:
         if layout.base + layout.size > DATA_LIMIT:
             raise RuntimeError_("data region exhausted by dlopen")
 
-        if self.verify:
+        if self.verify and self.runtime.enforce:
             from repro.core.verifier import verify_module
             verify_module(module)
 

@@ -37,6 +37,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="show the uninstrumented baseline")
     parser.add_argument("--aux-only", action="store_true",
                         help="print only the auxiliary information")
+    parser.add_argument("--verify", action="store_true",
+                        help="run the binary verifier and annotate the "
+                             "disassembly with check-transaction spans "
+                             "and per-branch verdicts")
     parser.add_argument("--max-lines", type=int, default=200,
                         help="cap on disassembly lines (0 = no cap)")
     return parser
@@ -79,20 +83,49 @@ def main(argv: List[str] | None = None) -> int:
         if args.aux_only:
             return 0
 
+        report = None
+        span_starts = {}
+        span_ends = set()
+        if args.verify:
+            from repro.analysis.binverify import analyze_module
+            report = analyze_module(module)
+            span_starts = {start: end for start, end in report.check_spans}
+            span_ends = set(end for _, end in report.check_spans)
+
         labels = {addr: name for name, addr in module.labels.items()
                   if not name.startswith("__mcfi")}
         print("\n-- disassembly " + "-" * 48)
         lines = 0
         for decoded in sweep_ranges(module.code, module.base,
                                     module.code_ranges):
+            if decoded.address in span_ends:
+                print("  ; ---- end check transaction ----")
+            if decoded.address in span_starts:
+                print(f"  ; ---- check transaction "
+                      f"{decoded.address:#x}.."
+                      f"{span_starts[decoded.address]:#x} ----")
             if decoded.address in labels:
                 print(f"{labels[decoded.address]}:")
-            print("  " + format_instr(decoded, labels))
+            line = "  " + format_instr(decoded, labels)
+            if report is not None and decoded.address in report.verdicts:
+                line += f"    ; <- {report.verdicts[decoded.address]}"
+            print(line)
             lines += 1
             if args.max_lines and lines >= args.max_lines:
                 print(f"  ... (truncated at {args.max_lines} lines; "
                       f"--max-lines 0 for all)")
                 break
+
+        if report is not None:
+            print("\n-- verifier " + "-" * 51)
+            stats = report.stats
+            print(f"verdict: {'ACCEPT' if report.ok else 'REJECT'} "
+                  f"({stats.get('checked_branches', 0)} check "
+                  f"transactions, {stats.get('proved_branches', 0)} "
+                  f"proved branches, {stats.get('proved_stores', 0)} "
+                  f"proved stores)")
+            for diag in report.errors[:20]:
+                print(f"  {diag.code}: {diag.message}")
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

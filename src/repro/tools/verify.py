@@ -1,0 +1,157 @@
+"""``python -m repro.tools.verify`` — the binary-verifier CLI.
+
+Runs the machine-code verifier (:mod:`repro.analysis.binverify`) over
+the benchmark workloads, and drives the verifier-evasion campaign that
+gates the trust boundary: seeded miscompiles must be rejected by the
+verifier or contained by the runtime — never silently admitted.
+
+Examples::
+
+    python -m repro.tools.verify run                      # all twelve
+    python -m repro.tools.verify run --workloads gcc lbm --json
+    python -m repro.tools.verify evasion --seeds 0 1 2 \\
+        --out benchmarks/results/verify_evasion.txt
+    python -m repro.tools.verify evasion --quick           # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+from repro.analysis.binverify import analyze_module
+from repro.errors import ReproError
+from repro.faults.miscompile import MISCOMPILE_INJECTORS, evasion_campaign
+from repro.workloads.spec import BENCHMARKS
+
+#: Workload/injector subset for ``evasion --quick`` (the CI smoke gate).
+QUICK_WORKLOADS = ("lbm", "libquantum", "bzip2")
+QUICK_SEEDS = (0, 1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="Binary CFI verification of compiled workloads")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="artifact cache directory (reuses compiled "
+                             "programs across runs)")
+    sub = parser.add_subparsers(dest="command")
+
+    run = sub.add_parser(
+        "run", help="verify the benchmark workloads (default command)")
+    run.add_argument("--workloads", nargs="+", default=None,
+                     choices=BENCHMARKS, metavar="NAME",
+                     help="workload subset (default: all twelve)")
+    run.add_argument("--arch", choices=("x32", "x64"), default="x64")
+    run.add_argument("--json", action="store_true",
+                     help="emit one JSON document instead of the table")
+
+    evasion = sub.add_parser(
+        "evasion", help="seeded miscompile campaign against the "
+                        "verifier (exits 1 on any undetected cell)")
+    evasion.add_argument("--workloads", nargs="+", default=None,
+                         choices=BENCHMARKS, metavar="NAME")
+    evasion.add_argument("--injectors", nargs="+", default=None,
+                         choices=tuple(MISCOMPILE_INJECTORS),
+                         metavar="NAME",
+                         help=f"injector subset (known: "
+                              f"{', '.join(MISCOMPILE_INJECTORS)})")
+    evasion.add_argument("--seeds", nargs="+", type=int,
+                         default=[0, 1, 2], metavar="N")
+    evasion.add_argument("--arch", choices=("x32", "x64"),
+                         default="x64")
+    evasion.add_argument("--quick", action="store_true",
+                         help="small workload/seed subset for CI")
+    evasion.add_argument("--json", action="store_true",
+                         help="emit the full cell list as JSON")
+    evasion.add_argument("--out", default=None, metavar="PATH",
+                         help="also write the detection-rate table to "
+                              "this file")
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import compiled
+
+    names = args.workloads or list(BENCHMARKS)
+    reports = []
+    for name in names:
+        started = time.perf_counter()
+        program = compiled(name, args.arch, True)
+        report = analyze_module(program.module)
+        elapsed = (time.perf_counter() - started) * 1000
+        reports.append((name, report, elapsed))
+
+    ok = all(report.ok for _, report, _ in reports)
+    if args.json:
+        doc = {"kind": "verify", "arch": args.arch, "ok": ok,
+               "reports": {name: report.to_dict()
+                           for name, report, _ in reports}}
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(f"{'workload':12s} {'verdict':8s} {'checks':>7s} "
+              f"{'branches':>9s} {'stores':>7s} {'instrs':>8s} "
+              f"{'ms':>8s}")
+        for name, report, elapsed in reports:
+            stats = report.stats
+            print(f"{name:12s} "
+                  f"{'ACCEPT' if report.ok else 'REJECT':8s} "
+                  f"{stats.get('checked_branches', 0):7d} "
+                  f"{stats.get('proved_branches', 0):9d} "
+                  f"{stats.get('proved_stores', 0):7d} "
+                  f"{stats.get('instructions', 0):8d} "
+                  f"{elapsed:8.1f}")
+            for diag in report.errors[:5]:
+                print(f"    {diag.code}: {diag.message}")
+        print(f"\n{len(reports)} modules, "
+              f"{'all ACCEPT' if ok else 'REJECTIONS PRESENT'}")
+    return 0 if ok else 1
+
+
+def cmd_evasion(args: argparse.Namespace) -> int:
+    workloads = args.workloads
+    seeds = args.seeds
+    if args.quick:
+        workloads = workloads or list(QUICK_WORKLOADS)
+        seeds = list(QUICK_SEEDS)
+    report = evasion_campaign(workloads=workloads,
+                              injectors=args.injectors,
+                              seeds=seeds, arch=args.arch)
+    rendered = report.render()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(rendered)
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.cache_dir:
+        from repro.infra.campaign import configure
+        configure(args.cache_dir)
+    if args.command is None:
+        rest = list(argv) if argv is not None else sys.argv[1:]
+        args = parser.parse_args(rest + ["run"])
+    try:
+        if args.command == "run":
+            return cmd_run(args)
+        return cmd_evasion(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

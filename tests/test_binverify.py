@@ -1,0 +1,353 @@
+"""Tests for the binary CFI verifier (repro.analysis.binverify).
+
+The verifier is the trust boundary that removes the rewriter (and the
+build pool, and the cache) from the TCB: these tests check that it
+accepts everything the real toolchain emits, rejects targeted unsafe
+mutations with the right diagnostic codes, and holds as the gate at
+the unit-publish and dlopen layers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.analysis.binverify import (
+    VerifyReport,
+    analyze_module,
+    image_of_module,
+    verify_unit,
+)
+from repro.errors import UnitVerificationError, VerificationError
+from repro.faults.miscompile import (
+    MISCOMPILE_INJECTORS,
+    MutationContext,
+    evasion_campaign,
+)
+from repro.isa.disasm import sweep_ranges
+from repro.isa.instructions import Op
+from repro.isa.registers import Reg
+from repro.toolchain import compile_and_link
+
+
+def _mutate(module, **overrides):
+    return dataclasses.replace(module, **overrides)
+
+
+def _decoded(module):
+    return sweep_ranges(module.code, module.base, module.code_ranges)
+
+
+def _codes(report):
+    return {diag.code for diag in report.diagnostics}
+
+
+def _nop_out(code, module, decoded_instr):
+    off = decoded_instr.address - module.base
+    code[off:off + decoded_instr.length] = \
+        bytes([Op.NOP]) * decoded_instr.length
+
+
+class TestAccept:
+    def test_demo_module_verifies(self, demo_program):
+        report = analyze_module(demo_program.module)
+        assert report.ok
+        assert isinstance(report, VerifyReport)
+        assert report.check_spans
+        assert report.stats["checked_branches"] == \
+            report.stats["proved_branches"]
+        assert all(verdict == "proved"
+                   for verdict in report.verdicts.values())
+
+    def test_spans_lie_inside_module(self, demo_program):
+        module = demo_program.module
+        report = analyze_module(module)
+        for start, end in report.check_spans:
+            assert module.base <= start < end <= module.limit
+
+    def test_report_roundtrip(self, demo_program):
+        report = analyze_module(demo_program.module)
+        clone = VerifyReport.from_dict(report.to_dict())
+        assert clone.module == report.module
+        assert clone.ok == report.ok
+        assert clone.stats == report.stats
+        assert clone.check_spans == report.check_spans
+        assert clone.verdicts == report.verdicts
+
+    def test_dict_shim_warns(self, demo_program):
+        report = analyze_module(demo_program.module)
+        with pytest.warns(DeprecationWarning):
+            assert report["checked_branches"] == \
+                report.stats["checked_branches"]
+        with pytest.warns(DeprecationWarning):
+            assert report.get("nonexistent", 7) == 7
+        with pytest.warns(DeprecationWarning):
+            assert "checked_branches" in list(report.keys())
+
+
+class TestReject:
+    """Each targeted mutation must produce the right diagnostic."""
+
+    def _ctx(self, demo_program):
+        return MutationContext.of(demo_program.module)
+
+    def test_spliced_check_instruction(self, demo_program):
+        module = demo_program.module
+        ctx = self._ctx(demo_program)
+        start, end = ctx.check_spans[0]
+        code = bytearray(module.code)
+        victim = next(d for d in ctx.decoded
+                      if start <= d.address < end
+                      and d.instr.op == Op.CMPW_RR)
+        _nop_out(code, module, victim)
+        report = analyze_module(_mutate(module, code=bytes(code)))
+        assert not report.ok
+        assert "MCFI008" in _codes(report)
+
+    def test_stripped_mask_before_branch(self, demo_program):
+        module = demo_program.module
+        ctx = self._ctx(demo_program)
+        start, _ = ctx.check_spans[0]
+        code = bytearray(module.code)
+        mask = next(d for d in ctx.decoded
+                    if d.end == start and d.instr.op == Op.MOVZX32)
+        _nop_out(code, module, mask)
+        report = analyze_module(_mutate(module, code=bytes(code)))
+        assert not report.ok
+        assert "MCFI005" in _codes(report)
+        assert any("not dominated" in diag.message
+                   for diag in report.errors)
+
+    def test_stripped_store_mask(self):
+        program = compile_and_link({"t": r"""
+            int cell = 5;
+            int poke(int *p, int v) { *p = v; return *p; }
+            int main(void) { return poke(&cell, 41); }
+        """}, mcfi=True)
+        module = program.module
+        decoded = _decoded(module)
+        masks = [d for d in decoded if d.instr.op == Op.MOVZX32
+                 and d.instr.operands[0] not in
+                 (Reg.RCX, Reg.RSP, Reg.RBP)]
+        assert masks, "expected a store-base mask in poke()"
+        code = bytearray(module.code)
+        for mask in masks:
+            _nop_out(code, module, mask)
+        report = analyze_module(_mutate(module, code=bytes(code)))
+        assert not report.ok
+        assert "MCFI006" in _codes(report)
+        assert any("unsandboxed store" in diag.message
+                   for diag in report.errors)
+
+    def test_skewed_direct_call(self, demo_program):
+        module = demo_program.module
+        ctx = self._ctx(demo_program)
+        victim = next(d for d in ctx.decoded
+                      if d.instr.op == Op.CALL
+                      and d.instr.branch_target(d.address) + 1
+                      not in ctx.label_addrs)
+        code = bytearray(module.code)
+        off = victim.address - module.base + 1
+        rel = int.from_bytes(code[off:off + 4], "little", signed=True)
+        code[off:off + 4] = (rel + 1).to_bytes(4, "little", signed=True)
+        report = analyze_module(_mutate(module, code=bytes(code)))
+        assert not report.ok
+        assert "MCFI007" in _codes(report)
+
+    def test_undecodable_byte(self, demo_program):
+        module = demo_program.module
+        code = bytearray(module.code)
+        nop = next(d for d in _decoded(module)
+                   if d.instr.op == Op.NOP)
+        code[nop.address - module.base] = 0xFF
+        report = analyze_module(_mutate(module, code=bytes(code)))
+        assert not report.ok
+        assert "MCFI007" in _codes(report)
+        assert any("disassemble" in diag.message
+                   for diag in report.errors)
+
+    def test_dropped_transaction(self, demo_program):
+        module = demo_program.module
+        ctx = self._ctx(demo_program)
+        start, end = ctx.check_spans[-1]
+        code = bytearray(module.code)
+        for d in ctx.decoded:
+            if start <= d.address < end:
+                _nop_out(code, module, d)
+        report = analyze_module(_mutate(module, code=bytes(code)))
+        assert not report.ok
+        assert "MCFI008" in _codes(report)
+        assert any("intact check transactions" in diag.message
+                   for diag in report.errors)
+
+    def test_native_module_rejected(self, demo_program_native):
+        report = analyze_module(demo_program_native.module)
+        assert not report.ok
+
+
+class TestUnitGrain:
+    @pytest.fixture(scope="class")
+    def units(self):
+        from repro.build.graph import compile_module_units
+        from repro.mir.lowering import lower_unit
+        from repro.toolchain import frontend
+        checked = frontend(r"""
+            typedef int (*op)(int);
+            int twice(int x) { return 2 * x; }
+            int thrice(int x) { return 3 * x; }
+            int apply(op f, int x) { return f(x); }
+            int main(void) {
+                return apply(twice, 5) + apply(thrice, 4);
+            }
+        """, name="t")
+        module_units, _, _ = compile_module_units(
+            lower_unit(checked), checked, "x64", verify_units=False)
+        return module_units.units
+
+    def test_units_verify(self, units):
+        for artifact in units:
+            report = verify_unit(artifact, arch="x64", module="t")
+            assert report.ok
+            assert report.grain == "unit"
+
+    def test_tampered_unit_rejected(self, units):
+        victim = next(u for u in units if u.fn == "apply")
+        bad = dataclasses.replace(
+            victim, code=b"\xff" + victim.code[1:])
+        with pytest.raises(UnitVerificationError) as info:
+            verify_unit(bad, arch="x64", module="t")
+        assert info.value.unit == "apply"
+        assert info.value.report is not None
+        assert not info.value.report.ok
+
+
+class _UnsafeResultPool:
+    """Workers that return *fingerprint-valid* but unverifiable code:
+    identity fraud passes, the safety gate must still reject."""
+
+    def __init__(self):
+        self.jobs = 0
+
+    def map(self, fn, argses):
+        from repro.infra.pool import JobResult
+        results = []
+        for index, args in enumerate(argses):
+            artifact = fn(*args)
+            artifact.code = b"\xff" + artifact.code[1:]
+            self.jobs += 1
+            results.append(JobResult(id=str(index), ok=True,
+                                     value=artifact))
+        return results
+
+
+class TestBuildGate:
+    SOURCE = r"""
+        typedef int (*op)(int);
+        int inc(int x) { return x + 1; }
+        int dec(int x) { return x - 1; }
+        int dbl(int x) { return x + x; }
+        int apply(op f, int x) { return f(x); }
+        int main(void) {
+            return apply(inc, 3) + apply(dec, 9) + apply(dbl, 10);
+        }
+    """
+
+    def test_unsafe_pool_results_never_published(self, tmp_path):
+        from repro.build.api import build_program
+        from repro.infra.cache import open_cache
+        cache = open_cache(tmp_path / "cache")
+        pool = _UnsafeResultPool()
+        result = build_program({"prog": self.SOURCE}, cache=cache,
+                               pool=pool)
+        assert pool.jobs > 0
+        assert result.stats["unit_rejected"] == pool.jobs
+        assert result.stats["unit_parallel"] == 0
+        # the inline recompile must still produce the clean image
+        clean = build_program({"prog": self.SOURCE})
+        assert result.program.module.code == clean.program.module.code
+        # and everything published re-verifies
+        for path in (cache.root / "units").iterdir():
+            artifact = cache.get_unit(path.stem)
+            verify_unit(artifact, arch="x64", module="prog")
+
+    def test_gate_can_be_disabled(self, tmp_path):
+        from repro.build.api import build_program
+        result = build_program({"prog": self.SOURCE})
+        off = build_program({"prog": self.SOURCE}, verify_units=False)
+        assert result.program.module.code == off.program.module.code
+
+
+class TestDlopenGate:
+    MAIN = {"main": r"""
+        int libfn(int x);
+        int main(void) {
+            long h = dlopen("plugin");
+            return h != 0;
+        }
+    """}
+    LIB = "int libfn(int x) { return x * 3 + 1; }"
+
+    def _linker(self, verify):
+        from repro.linker.dynamic_linker import DynamicLinker
+        from repro.runtime.runtime import Runtime
+        from repro.toolchain import compile_module
+        program = compile_and_link(self.MAIN, mcfi=True,
+                                   allow_unresolved=["libfn"])
+        runtime = Runtime(program)
+        linker = DynamicLinker(runtime, verify=verify)
+        linker.register("plugin",
+                        compile_module(self.LIB, name="plugin"))
+        return linker
+
+    def test_verify_is_the_default(self):
+        from repro.linker.dynamic_linker import DynamicLinker
+        from repro.runtime.runtime import Runtime
+        program = compile_and_link(self.MAIN, mcfi=True,
+                                   allow_unresolved=["libfn"])
+        assert DynamicLinker(Runtime(program)).verify
+
+    def test_tampered_library_rejected(self, monkeypatch):
+        import repro.linker.dynamic_linker as dl
+        real = dl.build_module
+
+        def corrupting(raw, asm, assembled, site_base=0):
+            module = real(raw, asm, assembled, site_base=site_base)
+            code = bytearray(module.code)
+            for d in _decoded(module):
+                if d.instr.op == Op.MOVZX32:
+                    _nop_out(code, module, d)
+            return _mutate(module, code=bytes(code))
+
+        linker = self._linker(verify=True)
+        monkeypatch.setattr(dl, "build_module", corrupting)
+        with pytest.raises(VerificationError):
+            linker.dlopen("plugin")
+
+        # without the gate the same corrupt library loads fine
+        linker = self._linker(verify=False)
+        monkeypatch.setattr(dl, "build_module", corrupting)
+        assert linker.dlopen("plugin") != 0
+
+
+class TestEvasionCampaign:
+    def test_every_injector_has_a_cell(self):
+        report = evasion_campaign(workloads=["lbm"], seeds=(0,))
+        assert {c.injector for c in report.cells} == \
+            set(MISCOMPILE_INJECTORS)
+        assert report.ok, report.render()
+
+    def test_mutations_are_deterministic(self, demo_program):
+        ctx = MutationContext.of(demo_program.module)
+        for name, fn in MISCOMPILE_INJECTORS.items():
+            first = fn(ctx, random.Random(f"demo:{name}:0"))
+            again = fn(ctx, random.Random(f"demo:{name}:0"))
+            assert first == again
+
+    def test_render_mentions_gate(self):
+        report = evasion_campaign(workloads=["lbm"],
+                                  injectors=["check_splice"],
+                                  seeds=(0,))
+        text = report.render()
+        assert "undetected unsafe mutations: 0" in text

@@ -1,0 +1,80 @@
+"""Disassembler fidelity: decode -> re-encode must be byte-identity.
+
+The binary verifier's soundness rests on the disassembler seeing the
+*same* instruction stream the CPU will execute.  These tests pin that
+down: every decoded instruction of every workload re-encodes to the
+exact bytes it was decoded from, decoding is total over the declared
+code ranges, and instruction boundaries behave at page-straddling
+addresses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa.encoding import decode, encode
+from repro.isa.disasm import sweep_ranges
+from repro.isa.instructions import Instruction, Op
+from repro.workloads.spec import BENCHMARKS
+
+PAGE = 4096
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_workload_reencodes_byte_identical(name):
+    from repro.experiments import compiled
+    module = compiled(name, "x64", True).module
+    decoded = sweep_ranges(module.code, module.base, module.code_ranges)
+    assert decoded
+    for d in decoded:
+        raw = module.code[d.address - module.base:
+                          d.address - module.base + d.length]
+        assert encode(d.instr) == raw, \
+            f"{name}: {d.instr.spec.mnemonic} at {d.address:#x}"
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_workload_ranges_decode_contiguously(name):
+    from repro.experiments import compiled
+    module = compiled(name, "x64", True).module
+    decoded = sweep_ranges(module.code, module.base, module.code_ranges)
+    by_range = {start: [] for start, _ in module.code_ranges}
+    for d in decoded:
+        for start, end in module.code_ranges:
+            if start <= d.address < end:
+                by_range[start].append(d)
+                break
+    for (start, end), instrs in zip(sorted(module.code_ranges),
+                                    (by_range[s] for s, _ in
+                                     sorted(module.code_ranges))):
+        assert instrs[0].address == start
+        assert instrs[-1].end == end
+        for prev, cur in zip(instrs, instrs[1:]):
+            assert prev.end == cur.address
+
+
+class TestPageStraddle:
+    def test_instruction_across_page_boundary(self):
+        # a 10-byte mov immediate starting 5 bytes before a page edge
+        instr = Instruction(Op.MOV_RI, (3, 0x1122334455667788))
+        blob = bytes([Op.NOP]) * (PAGE - 5) + encode(instr)
+        start = PAGE - 5
+        decoded, length = decode(blob, start)
+        assert decoded == instr
+        assert start + length == len(blob)
+        swept = sweep_ranges(blob, 0, [(0, len(blob))])
+        assert swept[-1].address == start
+        assert swept[-1].end == len(blob)
+
+    def test_boundary_never_bisects_an_instruction(self):
+        instr = Instruction(Op.MOV_RI, (3, 99))
+        blob = bytes([Op.NOP]) * (PAGE - 5) + encode(instr)
+        with pytest.raises(EncodingError):
+            sweep_ranges(blob, 0, [(0, PAGE)])
+
+    def test_truncated_tail_rejected(self):
+        instr = Instruction(Op.MOV_RI, (3, 99))
+        blob = bytes([Op.NOP]) * 4 + encode(instr)[:-2]
+        with pytest.raises(EncodingError):
+            sweep_ranges(blob, 0, [(0, len(blob))])

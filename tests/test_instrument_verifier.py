@@ -106,8 +106,9 @@ class TestInstrumentation:
 
 class TestVerifier:
     def test_accepts_instrumented_module(self, demo_module):
-        stats = verify_module(demo_module)
-        assert stats["checked_branches"] == \
+        report = verify_module(demo_module)
+        assert report.ok
+        assert report.stats["checked_branches"] == \
             len(demo_module.aux.branch_sites)
 
     def test_rejects_native_module(self, demo_program_native):

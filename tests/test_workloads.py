@@ -25,8 +25,11 @@ def test_instrumentation_transparent(name):
 
 @pytest.mark.parametrize("name", BENCHMARKS)
 def test_modules_verify(name):
-    stats = verify_module(compiled(name, "x64", True).module)
-    assert stats["checked_branches"] > 0
+    report = verify_module(compiled(name, "x64", True).module)
+    assert report.ok
+    assert report.stats["checked_branches"] > 0
+    assert report.stats["checked_branches"] == \
+        report.stats["proved_branches"]
 
 
 def test_x32_matches_x64_output():
