@@ -1,0 +1,95 @@
+"""Differential-corpus throughput and minimizer effectiveness.
+
+Writes ``benchmarks/results/corpus_differential.txt``: programs/sec
+through the full differential matrix, divergence counts by category
+(zero unexplained is the ISSUE-10 gate), and minimizer shrink ratios.
+
+The default run uses the pinned ``gen-smoke`` seeds; ``REPRO_FULL=1``
+widens the throughput sample.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import FULL, write_result
+from repro.workloads.corpus import CorpusConfig, DifferentialHarness, \
+    run_set
+from repro.workloads.generate import GenConfig, generate
+from repro.workloads.minimize import minimize
+
+
+class TestCorpusDifferential:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        limit = None if FULL else 8
+        start = time.perf_counter()
+        report = run_set("gen-smoke", limit=limit)
+        seconds = time.perf_counter() - start
+        return report, seconds
+
+    @pytest.fixture(scope="class")
+    def shrinks(self):
+        """Minimizer shrink ratios on synthetic output-preserving
+        predicates (the same machinery campaign triage uses)."""
+        out = []
+        for seed in (1001, 1004, 1007):
+            program = generate(seed, GenConfig.quick())
+
+            def predicate(candidate):
+                try:
+                    return len(candidate.evaluate().output) > 0
+                except Exception:  # noqa: BLE001
+                    return False
+
+            result = minimize(program, predicate, rounds=2)
+            out.append((seed, result))
+        return out
+
+    def test_zero_unexplained_divergences(self, campaign):
+        report, _ = campaign
+        open_findings = [f for f in report.findings()
+                         if f.classification == "open"]
+        assert open_findings == []
+
+    def test_throughput_and_write_artifact(self, campaign, shrinks):
+        report, seconds = campaign
+        members = len(report.reports)
+        cells = sum(r.cells for r in report.reports)
+        by_cat = report.by_category()
+        lines = [
+            "differential corpus harness (gen-smoke"
+            + ("" if FULL else f", first {members}") + ")",
+            f"programs        : {members}",
+            f"matrix cells    : {cells}",
+            f"wall seconds    : {seconds:.2f}",
+            f"programs/sec    : {members / seconds:.2f}",
+            f"cells/sec       : {cells / seconds:.2f}",
+            "",
+            "divergences by category:",
+        ]
+        if by_cat:
+            for category, count in sorted(by_cat.items()):
+                lines.append(f"  {category:16s} {count}")
+        else:
+            lines.append("  (none)")
+        lines += ["", "minimizer shrink ratios "
+                      "(output-preserving predicate):"]
+        for seed, result in shrinks:
+            lines.append(
+                f"  gen{seed}: {result.original_lines} -> "
+                f"{result.minimized_lines} lines "
+                f"({100 * result.shrink_ratio:.0f}%, "
+                f"{result.attempts} attempts)")
+        write_result("corpus_differential", "\n".join(lines))
+        assert members / seconds > 0
+
+    def test_minimizer_hits_25_line_bar(self, shrinks):
+        for _, result in shrinks:
+            assert result.minimized_lines <= 25
+
+    def test_one_member_benchmark(self, benchmark):
+        harness = DifferentialHarness(CorpusConfig())
+        benchmark.pedantic(
+            lambda: harness.run_member("gen1000", quick=True),
+            rounds=1, iterations=1)

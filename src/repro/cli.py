@@ -48,6 +48,7 @@ TOOLS = {
     "cc": "cc",
     "objdump": "objdump",
     "analyze": "analyze",
+    "corpus": "corpus",
     "gadgets": "gadgets",
     "lint": "lint",
     "service": "service",
@@ -114,6 +115,12 @@ def tool_argv(args: argparse.Namespace) -> List[str]:
             add("--seeds", args.seed)
     elif args.command == "verify":
         add("--cache-dir", args.cache_dir)
+    elif args.command == "corpus":
+        if sub == "run":
+            add("--jobs", args.jobs)
+            add("--cache-dir", args.cache_dir)
+        elif sub in ("minimize", "generate"):
+            add("--seed", args.seed)
     elif args.command == "obs":
         if sub == "demo":
             add("--seed", args.seed)

@@ -73,6 +73,14 @@ class TypeError_(TinyCError):
     code = "tinyc-type"
 
 
+#: What callers catch around a whole compile: every diagnostic the TinyC
+#: frontend raises for malformed source — lex, parse, and type errors
+#: alike, all carrying a source location.  The frontend's contract is
+#: that *no* input text escalates past this (no ``RecursionError``, no
+#: raw tracebacks); the corpus robustness suite property-tests it.
+CompileError = TinyCError
+
+
 # ---------------------------------------------------------------------------
 # Code generation and assembly
 # ---------------------------------------------------------------------------

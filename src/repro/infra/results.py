@@ -31,14 +31,22 @@ from repro.infra.pool import JobResult
 
 
 class ResultStore:
-    """Append-only JSONL record sink (one campaign, one file)."""
+    """Append-only JSONL record sink (one campaign, one file).
 
-    def __init__(self, path: Union[str, Path]):
+    ``timestamps=False`` omits the wall-clock ``ts`` field so a seeded
+    campaign writes byte-identical files across runs — the corpus
+    findings store is ``cmp``-pinned against a golden file in CI.
+    """
+
+    def __init__(self, path: Union[str, Path], timestamps: bool = True):
         self.path = Path(path)
+        self.timestamps = timestamps
         self.path.parent.mkdir(parents=True, exist_ok=True)
 
     def append(self, kind: str, **fields: Any) -> Dict[str, Any]:
-        record = {"kind": kind, "ts": round(time.time(), 3)}
+        record: Dict[str, Any] = {"kind": kind}
+        if self.timestamps:
+            record["ts"] = round(time.time(), 3)
         record.update(fields)
         with self.path.open("a", encoding="utf-8") as fh:
             fh.write(json.dumps(record, sort_keys=True) + "\n")

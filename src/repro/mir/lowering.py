@@ -699,15 +699,24 @@ class FunctionLowerer:
         return result
 
     def _emit_call(self, expr: ast.Call):
-        """Emit a call; returns its result vreg or None for void."""
+        """Emit a call; returns its result vreg or None for void.
+
+        Evaluation is strictly left-to-right, callee designator
+        included: ``tab[i](f())`` must read ``i`` *before* ``f()``
+        runs.  Lowering the pointer after the arguments miscompiled
+        exactly that shape when an argument mutated state the callee
+        expression read (corpus seeds 14/99, PR 10).
+        """
         from repro.tinyc.types import VoidType
+        pointer = None
+        if expr.direct_name is None:
+            pointer = self.rvalue(expr.callee)
         args = [self.rvalue(arg) for arg in expr.args]
         returns_value = not isinstance(expr.ctype, VoidType)
         dst = self.vreg() if returns_value else None
         if expr.direct_name is not None:
             self.emit(ir.Call(dst=dst, callee=expr.direct_name, args=args))
         else:
-            pointer = self.rvalue(expr.callee)
             self.emit(ir.CallInd(dst=dst, pointer=pointer, args=args,
                                  sig=FuncSig.of(expr.callee_type)))
         return dst
@@ -869,5 +878,19 @@ class ModuleLowerer:
 
 
 def lower_unit(checked: CheckedUnit) -> ir.MirModule:
-    """Lower a checked translation unit to MIR."""
-    return ModuleLowerer(checked).lower()
+    """Lower a checked translation unit to MIR.
+
+    Same stack discipline as parse/check: the expression trees those
+    stages accepted can be deep, so lowering raises the recursion
+    limit with them and reports exhaustion as a diagnostic.
+    """
+    import sys
+    limit = sys.getrecursionlimit()
+    if limit < 20000:
+        sys.setrecursionlimit(20000)
+    try:
+        return ModuleLowerer(checked).lower()
+    except RecursionError:
+        raise CodegenError("program nesting too deep") from None
+    finally:
+        sys.setrecursionlimit(limit)

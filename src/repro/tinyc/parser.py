@@ -678,6 +678,8 @@ def parse(source: str, name: str = "unit",
 
     Recursive descent needs stack proportional to expression nesting;
     raise the interpreter limit so deeply parenthesized programs parse.
+    Nesting beyond even the raised limit is a *diagnostic*, not a
+    crash: the ``RecursionError`` converts to a clean ParseError.
     """
     import sys
     limit = sys.getrecursionlimit()
@@ -685,6 +687,8 @@ def parse(source: str, name: str = "unit",
         sys.setrecursionlimit(20000)
     try:
         return Parser(source, name=name, types=types).parse_unit()
+    except RecursionError:
+        raise ParseError("program nesting too deep") from None
     finally:
         sys.setrecursionlimit(limit)
 

@@ -230,6 +230,19 @@ class Checker:
             stmt.expr = self._check_expr(stmt.expr)
             if not is_integer(stmt.expr.ctype):
                 raise TypeError_("switch requires an integer", stmt.line)
+            seen_values = set()
+            defaults = 0
+            for case in stmt.cases:
+                if case.value is None:
+                    defaults += 1
+                    if defaults > 1:
+                        raise TypeError_("duplicate default label",
+                                         stmt.line)
+                elif case.value in seen_values:
+                    raise TypeError_(
+                        f"duplicate case label {case.value}", stmt.line)
+                else:
+                    seen_values.add(case.value)
             self.symbols.push()
             for case in stmt.cases:
                 for inner in case.stmts:
@@ -251,6 +264,10 @@ class Checker:
     def _check_initializer(self, init, ctype: Type, line: int):
         if isinstance(init, list):
             if isinstance(ctype, ArrayType):
+                if len(init) > ctype.length:
+                    raise TypeError_(
+                        f"too many initializers for {ctype} "
+                        f"({len(init)} > {ctype.length})", line)
                 return [self._check_initializer(item, ctype.element, line)
                         for item in init]
             if isinstance(ctype, StructType):
@@ -654,5 +671,21 @@ class Checker:
 
 
 def check(unit: ast.TranslationUnit) -> CheckedUnit:
-    """Type-check a translation unit and collect semantic facts."""
-    return Checker(unit).check()
+    """Type-check a translation unit and collect semantic facts.
+
+    Mirrors :func:`repro.tinyc.parser.parse`'s stack discipline: the
+    checker recurses over expression trees the parser was allowed to
+    build deep, so raise the limit the same way — and degrade to a
+    clean diagnostic (never a ``RecursionError`` traceback) on inputs
+    deep enough to exhaust even that.
+    """
+    import sys
+    limit = sys.getrecursionlimit()
+    if limit < 20000:
+        sys.setrecursionlimit(20000)
+    try:
+        return Checker(unit).check()
+    except RecursionError:
+        raise TypeError_("program nesting too deep") from None
+    finally:
+        sys.setrecursionlimit(limit)

@@ -1,0 +1,187 @@
+"""``python -m repro corpus`` — the differential corpus CLI.
+
+Drives the seeded TinyC generator + cross-configuration differential
+harness (:mod:`repro.workloads.generate`, :mod:`repro.workloads.corpus`)
+from the command line::
+
+    python -m repro corpus run gen-smoke --jobs 4
+    python -m repro corpus run gen-deep --out findings.jsonl --check
+    python -m repro corpus report findings.jsonl
+    python -m repro corpus minimize --seed 1729 --category oracle_output
+    python -m repro corpus generate --seed 42 --oracle
+
+``run`` executes every member of a registered benchmark set through
+the full matrix and (optionally) persists the deterministic findings
+JSONL; ``--check`` makes unexplained divergences a non-zero exit so
+CI can gate on it.  ``report`` re-renders a stored JSONL.  ``minimize``
+regenerates a seed, reproduces a finding of the given category and
+delta-debugs the program down to a minimal repro.  ``generate`` is
+the debugging workhorse: print one seed's source (and oracle output).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-corpus",
+        description="seeded TinyC differential-testing corpus")
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    run = sub.add_parser("run", help="run a benchmark set through the "
+                                     "differential matrix")
+    run.add_argument("set", nargs="?", default="gen-smoke",
+                     help="registered set name (default: gen-smoke)")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="pool workers (default: serial)")
+    run.add_argument("--out", default=None, metavar="PATH",
+                     help="write deterministic findings JSONL here")
+    run.add_argument("--limit", type=int, default=None, metavar="N",
+                     help="only the first N members (recorded as "
+                          "truncated)")
+    run.add_argument("--cache-dir", default=None, metavar="PATH",
+                     help="artifact cache for build memoization")
+    run.add_argument("--no-lint", action="store_true",
+                     help="skip the lint plane axis")
+    run.add_argument("--no-incremental", action="store_true",
+                     help="skip the incremental-rebuild axis")
+    run.add_argument("--no-reference", action="store_true",
+                     help="skip the step_reference tier")
+    run.add_argument("--check", action="store_true",
+                     help="exit 1 if any member diverged or errored")
+
+    rep = sub.add_parser("report", help="render a stored findings "
+                                        "JSONL")
+    rep.add_argument("path", help="findings JSONL from 'corpus run'")
+
+    mini = sub.add_parser("minimize",
+                          help="shrink one seed's divergence to a "
+                               "minimal repro")
+    mini.add_argument("--seed", type=int, required=True,
+                      help="generator seed to reproduce")
+    mini.add_argument("--category", default=None, metavar="CAT",
+                      help="finding category to preserve (default: "
+                           "first finding's)")
+    mini.add_argument("--quick", action="store_true",
+                      help="use the smoke-sized generator config")
+    mini.add_argument("--rounds", type=int, default=4,
+                      help="shrink rounds (default: 4)")
+    mini.add_argument("--out", default=None, metavar="PATH",
+                      help="write the minimized TinyC source here")
+
+    gen = sub.add_parser("generate", help="print one generated "
+                                          "program")
+    gen.add_argument("--seed", type=int, required=True)
+    gen.add_argument("--quick", action="store_true",
+                     help="use the smoke-sized generator config")
+    gen.add_argument("--oracle", action="store_true",
+                     help="also print the oracle's expected output")
+    return parser
+
+
+def _corpus_config(args: argparse.Namespace):
+    from repro.workloads.corpus import CorpusConfig
+
+    return CorpusConfig(
+        lint=not args.no_lint,
+        incremental=not args.no_incremental,
+        reference=not args.no_reference,
+        cache_dir=args.cache_dir)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.workloads.corpus import render_report, run_set
+
+    report = run_set(args.set, jobs=args.jobs,
+                     config=_corpus_config(args),
+                     out_path=args.out, limit=args.limit)
+    print(render_report(report))
+    if args.out:
+        print(f"findings -> {args.out}")
+    if args.check and not report.ok:
+        bad = [r.member for r in report.reports if not r.ok]
+        print(f"FAIL: {len(bad)} member(s) with findings: "
+              f"{', '.join(bad)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.workloads.corpus import load_set_report, render_report
+
+    print(render_report(load_set_report(args.path)))
+    return 0
+
+
+def _cmd_minimize(args: argparse.Namespace) -> int:
+    from repro.workloads.corpus import CorpusConfig, \
+        DifferentialHarness
+    from repro.workloads.generate import GenConfig, generate
+    from repro.workloads.minimize import minimize, predicate_for
+
+    config = GenConfig.quick() if args.quick else None
+    program = generate(args.seed, config)
+    cfg = CorpusConfig()
+    report = DifferentialHarness(cfg).run_program(program)
+    findings = list(report.findings)
+    if args.category is not None:
+        findings = [f for f in findings
+                    if f.category == args.category]
+    if not findings:
+        want = args.category or "any category"
+        print(f"seed {args.seed} produced no finding ({want}); "
+              f"nothing to minimize", file=sys.stderr)
+        return 1
+    finding = findings[0]
+    print(f"minimizing seed {args.seed} "
+          f"[{finding.category} @ {finding.cell}] "
+          f"from {program.line_count()} lines ...", file=sys.stderr)
+    result = minimize(program, predicate_for(finding, cfg),
+                      rounds=args.rounds)
+    source = result.program.source
+    print(f"{result.original_lines} -> {result.minimized_lines} "
+          f"lines ({result.attempts} attempts, "
+          f"{result.accepted} accepted)", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(source)
+        print(f"repro -> {args.out}", file=sys.stderr)
+    else:
+        print(source, end="")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workloads.generate import GenConfig, generate
+
+    config = GenConfig.quick() if args.quick else None
+    program = generate(args.seed, config)
+    print(program.source, end="")
+    if args.oracle:
+        result = program.evaluate()
+        sys.stdout.write("// --- oracle ---\n")
+        sys.stdout.write(f"// exit: {result.exit_code}\n")
+        for line in result.output.decode("latin-1").splitlines():
+            sys.stdout.write(f"// out: {line}\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"run": _cmd_run, "report": _cmd_report,
+                "minimize": _cmd_minimize, "generate": _cmd_generate}
+    try:
+        return handlers[args.mode](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

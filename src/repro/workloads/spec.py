@@ -1214,3 +1214,99 @@ def workload_digest(name: str) -> str:
     the :mod:`repro.infra` artifact cache keys compilations by."""
     import hashlib
     return hashlib.sha256(workload(name).source.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Named benchmark sets
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BenchmarkSet:
+    """A named, closed collection of corpus members.
+
+    Sets exist so reports cannot cherry-pick: a set run must produce
+    one verdict per member (see ``repro.workloads.corpus``). ``kind``
+    is ``"fixed"`` (members are workload names from ``BENCHMARKS``)
+    or ``"generated"`` (members are ``gen<seed>`` programs from
+    :mod:`repro.workloads.generate`).
+    """
+
+    name: str
+    description: str
+    kind: str                       # "fixed" | "generated"
+    members: Tuple[str, ...]
+    seeds: Tuple[int, ...] = ()     # generated sets only
+    quick: bool = False             # GenConfig.quick() for members
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fixed", "generated"):
+            raise ValueError(f"unknown set kind {self.kind!r}")
+        if not self.members:
+            raise ValueError(f"set {self.name!r} has no members")
+        if len(set(self.members)) != len(self.members):
+            raise ValueError(f"set {self.name!r} has duplicate members")
+        if self.kind == "generated" and \
+                len(self.seeds) != len(self.members):
+            raise ValueError(
+                f"set {self.name!r}: seeds/members length mismatch")
+
+
+_SETS: Dict[str, BenchmarkSet] = {}
+
+
+def register_set(spec: BenchmarkSet) -> BenchmarkSet:
+    """Register a set under its name; re-registration must be
+    identical (idempotent) or it is an error."""
+    existing = _SETS.get(spec.name)
+    if existing is not None:
+        if existing != spec:
+            raise ValueError(
+                f"benchmark set {spec.name!r} already registered "
+                f"with different members")
+        return existing
+    _SETS[spec.name] = spec
+    return spec
+
+
+def benchmark_set(name: str) -> BenchmarkSet:
+    """Resolve a registered set by name."""
+    try:
+        return _SETS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SETS))
+        raise KeyError(
+            f"unknown benchmark set {name!r} (known: {known})"
+        ) from None
+
+
+def all_sets() -> List[BenchmarkSet]:
+    """Every registered set, in deterministic (name) order."""
+    return [_SETS[name] for name in sorted(_SETS)]
+
+
+def _generated_set(name: str, description: str, seeds: range,
+                   quick: bool) -> BenchmarkSet:
+    seed_tuple = tuple(seeds)
+    return BenchmarkSet(
+        name=name, description=description, kind="generated",
+        members=tuple(f"gen{s}" for s in seed_tuple),
+        seeds=seed_tuple, quick=quick)
+
+
+#: the twelve hand-written SPEC-shaped workloads
+register_set(BenchmarkSet(
+    name="fixed12",
+    description="the twelve SPEC-shaped fixed workloads",
+    kind="fixed", members=BENCHMARKS))
+
+#: small, fast generated corpus for CI smoke (fixed seeds)
+register_set(_generated_set(
+    "gen-smoke",
+    "20 quick generated programs, fixed seeds 1000-1019 (CI smoke)",
+    range(1000, 1020), quick=True))
+
+#: the ISSUE-10 campaign corpus: >= 500 seeded programs
+register_set(_generated_set(
+    "gen-deep",
+    "500 generated programs, seeds 1-500 (full differential sweep)",
+    range(1, 501), quick=False))

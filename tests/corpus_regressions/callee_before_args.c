@@ -1,0 +1,24 @@
+// Regression: corpus miscompile, seeds 14/99 (PR 10 campaign).
+// TinyC evaluates strictly left to right, callee designator
+// included: the table index below must read `counter` BEFORE the
+// argument call bumps it.  `_emit_call` used to lower arguments
+// first, so the compiled program dispatched through tab[1] while
+// the oracle (and the language rule) picked tab[0].
+// expect-exit: 0
+// expect-output: 0
+long counter = 0;
+
+long zero(long a, long b) { return 0; }
+long one(long a, long b) { return 1; }
+long (*tab[2])(long, long) = {zero, one};
+
+long bump(long a) {
+    counter = counter + 1;
+    return a;
+}
+
+int main(void) {
+    print_int(tab[(counter) & 1](bump(1), 1));
+    print_char(10);
+    return 0;
+}

@@ -1,0 +1,13 @@
+// Regression: PR 10 frontend hardening.
+// Before the fix, duplicate case labels were accepted; which arm ran
+// depended on the lowering strategy (jump table: last write wins,
+// compare chain: first match wins) — a silent behavior fork between
+// the dense and sparse switch paths.
+// expect-error: duplicate case label
+int main() {
+    switch (1) {
+        case 1: print_int(10); break;
+        case 1: print_int(20); break;
+    }
+    return 0;
+}

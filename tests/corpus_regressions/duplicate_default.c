@@ -1,0 +1,11 @@
+// Regression: PR 10 frontend hardening.
+// Two default arms were accepted the same way duplicate case labels
+// were; only one can run, and which one was a lowering accident.
+// expect-error: duplicate default
+int main() {
+    switch (9) {
+        default: print_int(1); break;
+        default: print_int(2); break;
+    }
+    return 0;
+}

@@ -1,0 +1,27 @@
+// Regression: corpus-surfaced generator/harness invariant (PR 10
+// triage, seeds 1012/1016).  Every function reachable through a
+// `long(*)(long,long)` table or parameter must really have that
+// signature — an arity-mismatched pointee is an MCFI type-class
+// violation at the indirect call.  This pins the well-typed shape:
+// table dispatch and pointer-parameter dispatch both check and pass.
+// expect-exit: 0
+// expect-output: 7
+// expect-output: 12
+// expect-output: 14
+long add(long a, long b) { return a + b; }
+long mul(long a, long b) { return a * b; }
+long (*tab[2])(long, long) = {add, mul};
+
+long via(long a, long b, long (*f)(long, long)) {
+    return f(a, b) + f(b, a);
+}
+
+int main() {
+    print_int(tab[0](3, 4));
+    print_char(10);
+    print_int(tab[1](3, 4));
+    print_char(10);
+    print_int(via(2, 5, add));
+    print_char(10);
+    return 0;
+}

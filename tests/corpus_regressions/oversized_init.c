@@ -1,0 +1,13 @@
+// Regression: PR 10 frontend hardening.
+// Before the fix, initializer words past the array's extent were
+// silently emitted into the data image (offsets 16 and 24 of a
+// 16-byte object), clobbering whatever the linker placed next.
+// expect-error: too many initializers
+long a[2] = {1, 2, 3, 4};
+long b = 7;
+
+int main() {
+    print_int(b);
+    print_char(10);
+    return 0;
+}

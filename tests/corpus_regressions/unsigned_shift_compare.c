@@ -1,0 +1,26 @@
+// Regression: corpus-surfaced lowering subtlety (PR 10 triage).
+// A statically-unsigned operand must flip `>>` to a logical shift
+// and comparisons to unsigned — mid-expression, not just at stores.
+// The oracle initially modeled values only and missed the static
+// type's effect; this pins the compiled behavior on both shapes.
+// expect-exit: 0
+// expect-output: 15
+// expect-output: -4
+// expect-output: 1
+// expect-output: 0
+unsigned long u = 0;
+long s = 0;
+
+int main() {
+    u = 0 - 1;
+    s = -8;
+    print_int(u >> 60);
+    print_char(10);
+    print_int(s >> 1);
+    print_char(10);
+    print_int((s >> 1) < 1);
+    print_char(10);
+    print_int(((unsigned long)s) < 1);
+    print_char(10);
+    return 0;
+}

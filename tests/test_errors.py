@@ -23,8 +23,14 @@ from repro.errors import (
 
 
 def _error_classes():
-    return [obj for obj in vars(errors).values()
-            if isinstance(obj, type) and issubclass(obj, ReproError)]
+    # dedupe by identity: an alias (CompileError -> TinyCError) is the
+    # same definition, not a sibling declaration
+    seen = []
+    for obj in vars(errors).values():
+        if isinstance(obj, type) and issubclass(obj, ReproError) \
+                and obj not in seen:
+            seen.append(obj)
+    return seen
 
 
 class TestTaxonomy:
